@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one figure (or ablation) of the paper's
+evaluation.  pytest-benchmark measures host wall time of the harness;
+the numbers that correspond to the paper's axes (virtual allocations
+per second, speedups, failure rates) are attached to
+``benchmark.extra_info`` and printed, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the evaluation tables in the log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach(benchmark, **info):
+    """Record paper-facing numbers on the benchmark record."""
+    for k, v in info.items():
+        benchmark.extra_info[k] = v

@@ -1,0 +1,37 @@
+"""Figure 5 — two-stage allocation throughput: counting vs bulk
+semaphores (paper §5.1).
+
+Paper result: bulk semaphores outperform counting semaphores thanks to
+concurrent batch allocations; the gap appears once concurrency exceeds
+the batch size.
+"""
+
+from repro.bench import fig5
+
+from conftest import attach
+
+THREADS = (256, 1024, 4096, 16384)
+BATCH = 512
+
+
+def test_fig5_counting_vs_bulk(benchmark):
+    def harness():
+        return fig5.run(thread_counts=THREADS, batch=BATCH)
+
+    res = benchmark.pedantic(harness, rounds=1, iterations=1)
+    print("\nFigure 5 (batch=512):")
+    print(res.table())
+
+    high = THREADS[-1]
+    attach(
+        benchmark,
+        bulk_allocs_per_s_at_16k=res.bulk.y_at(high),
+        counting_allocs_per_s_at_16k=res.counting.y_at(high),
+        bulk_speedup_at_16k=res.bulk.y_at(high) / res.counting.y_at(high),
+    )
+    # Shape assertions: bulk wins beyond the batch size, at every level.
+    for n in THREADS:
+        if n > BATCH:
+            assert res.bulk.y_at(n) > res.counting.y_at(n), (
+                f"bulk semaphore slower than counting at {n} threads"
+            )

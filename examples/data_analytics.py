@@ -1,0 +1,101 @@
+"""Data analytics: variable-length record ingest and filtering.
+
+The paper's introduction names data analytics (RAPIDS) and databases
+(Kinetica) as consumers of device-side allocation: columns of strings
+and variable-width payloads don't fit fixed-stride arrays without
+either a pre-pass to size them or worst-case padding.
+
+This example ingests a batch of variable-length records (8–400 bytes):
+every thread allocates exactly the bytes its record needs, writes a
+checksum-tagged payload, and publishes the pointer into a row index.
+A second kernel then filters the table — records failing a predicate
+are freed on-device — and a third phase verifies the survivors'
+checksums and that freed memory was actually recycled.
+
+Run:  python examples/data_analytics.py
+"""
+
+import random
+
+from repro.core import AllocatorConfig, ThroughputAllocator
+from repro.sim import DeviceMemory, GPUDevice, Scheduler, ops
+
+NULL = DeviceMemory.NULL
+
+
+def ingest_kernel(ctx, alloc, row_index, lengths):
+    """Allocate a record buffer and publish it (0 marks a failed row)."""
+    length = lengths[ctx.tid]
+    p = yield from alloc.malloc(ctx, length)
+    if p == NULL:
+        yield ops.store(row_index + 8 * ctx.tid, 0)
+        return
+    # payload: first word = tid; records >= 16 B also store their length
+    base = (p + 7) & ~7
+    yield ops.store(base, ctx.tid)
+    if length >= 16:
+        yield ops.store(base + 8, length)
+    yield ops.store(row_index + 8 * ctx.tid, p)
+
+
+def filter_kernel(ctx, alloc, row_index, keep_mod):
+    """Drop rows whose tid % keep_mod != 0, freeing their buffers."""
+    p = yield ops.load(row_index + 8 * ctx.tid)
+    if p == 0:
+        return
+    if ctx.tid % keep_mod != 0:
+        yield ops.store(row_index + 8 * ctx.tid, 0)
+        yield from alloc.free(ctx, p)
+
+
+def main():
+    n_rows = 4096
+    rng = random.Random(99)
+    lengths = [rng.choice((8, 16, 24, 48, 100, 200, 400)) for _ in range(n_rows)]
+
+    device = GPUDevice(num_sms=4)
+    mem = DeviceMemory(64 << 20)
+    alloc = ThroughputAllocator(mem, device, AllocatorConfig(pool_order=11))
+    row_index = mem.host_alloc(8 * n_rows)
+
+    # phase 1: ingest
+    sched = Scheduler(mem, device, seed=31)
+    sched.launch(ingest_kernel, grid=n_rows // 256, block=256,
+                 args=(alloc, row_index, lengths))
+    rep1 = sched.run()
+    rows = [mem.load_word(row_index + 8 * i) for i in range(n_rows)]
+    ingested = sum(1 for p in rows if p)
+    print(f"ingested:          {ingested} / {n_rows} rows "
+          f"at {rep1.throughput(ingested):.3e} rows/s (virtual)")
+
+    used_before = alloc.host_used_bytes()
+
+    # phase 2: filter (keep every 4th row) — reuse the same scheduler
+    sched2 = Scheduler(mem, device, seed=32)
+    sched2.launch(filter_kernel, grid=n_rows // 256, block=256,
+                  args=(alloc, row_index, 4))
+    sched2.run()
+
+    rows = [mem.load_word(row_index + 8 * i) for i in range(n_rows)]
+    kept = [i for i, p in enumerate(rows) if p]
+    print(f"after filter:      {len(kept)} rows kept")
+
+    # phase 3: host-side verification of surviving payloads
+    for i in kept:
+        base = (rows[i] + 7) & ~7
+        assert mem.load_word(base) == i, f"row {i} corrupted"
+        if lengths[i] >= 16:
+            assert mem.load_word(base + 8) == lengths[i], f"row {i} corrupted"
+    print("surviving payloads verified (no corruption from frees)")
+
+    alloc.ualloc.host_gc()
+    alloc.host_check()
+    used_after = alloc.host_used_bytes()
+    print(f"live bytes:        {used_before} B after ingest -> "
+          f"{used_after} B after filter "
+          f"({1 - used_after / used_before:.0%} reclaimed)")
+    assert used_after < used_before
+
+
+if __name__ == "__main__":
+    main()

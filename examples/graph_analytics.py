@@ -1,0 +1,110 @@
+"""Graph analytics: building a dynamic adjacency structure on-device.
+
+The paper's introduction motivates device-side allocation with graph
+frameworks (Gunrock): edge frontiers and adjacency lists whose sizes
+are only known at run time.  Without a fast device allocator,
+programmers pre-allocate a worst-case upper-bound array on the host.
+
+This example streams a random edge list into a per-vertex linked
+adjacency structure built from ``malloc``-ed nodes — one insertion per
+thread, lock-free via CAS on the per-vertex head pointer — then
+verifies every edge landed, and contrasts the memory footprint with the
+upper-bound preallocation strategy.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import random
+
+from repro.core import AllocatorConfig, ThroughputAllocator
+from repro.sim import DeviceMemory, GPUDevice, Scheduler, ops
+
+NULL = DeviceMemory.NULL
+
+#: adjacency node layout: word0 = destination vertex, word1 = next
+DST_OFF = 0
+NEXT_OFF = 8
+NODE_BYTES = 16
+
+
+def insert_edge_kernel(ctx, alloc, heads_addr, edges, failed):
+    """Insert edge ``edges[tid]`` into the adjacency list of its source."""
+    src, dst = edges[ctx.tid]
+    node = yield from alloc.malloc(ctx, NODE_BYTES)
+    if node == NULL:
+        failed.append(ctx.tid)
+        return
+    node = (node + 7) & ~7  # word-align the two fields (16B blocks are
+    # 8-aligned already; this is belt and braces)
+    yield ops.store(node + DST_OFF, dst)
+    head_addr = heads_addr + 8 * src
+    while True:
+        head = yield ops.load(head_addr)
+        yield ops.store(node + NEXT_OFF, head)
+        old = yield ops.atomic_cas(head_addr, head, node)
+        if old == head:
+            return
+
+
+def host_read_adjacency(mem, heads_addr, n_vertices):
+    """Collect the built adjacency lists host-side."""
+    adj = {v: [] for v in range(n_vertices)}
+    for v in range(n_vertices):
+        node = mem.load_word(heads_addr + 8 * v)
+        while node != 0:
+            adj[v].append(mem.load_word(node + DST_OFF))
+            node = mem.load_word(node + NEXT_OFF)
+    return adj
+
+
+def main():
+    n_vertices, n_edges = 64, 4096
+    rng = random.Random(7)
+    # power-law-ish degrees: a handful of hub vertices
+    edges = []
+    for _ in range(n_edges):
+        src = rng.randrange(n_vertices) if rng.random() < 0.5 else rng.randrange(4)
+        edges.append((src, rng.randrange(n_vertices)))
+
+    device = GPUDevice(num_sms=4)
+    mem = DeviceMemory(32 << 20)
+    alloc = ThroughputAllocator(mem, device, AllocatorConfig(pool_order=10))
+    heads = mem.host_alloc(8 * n_vertices)
+    for v in range(n_vertices):
+        mem.store_word(heads + 8 * v, 0)
+
+    failed = []
+    sched = Scheduler(mem, device, seed=13)
+    sched.launch(insert_edge_kernel, grid=n_edges // 256, block=256,
+                 args=(alloc, heads, edges, failed))
+    report = sched.run()
+
+    adj = host_read_adjacency(mem, heads, n_vertices)
+    built = sum(len(v) for v in adj.values())
+    print(f"edges inserted:     {built} / {n_edges} "
+          f"({len(failed)} allocation failures)")
+    assert built + len(failed) == n_edges
+
+    # verify multiset equality of edges
+    want = {}
+    for i, (s, d) in enumerate(edges):
+        if i not in failed:
+            want.setdefault(s, []).append(d)
+    for v in range(n_vertices):
+        assert sorted(adj[v]) == sorted(want.get(v, [])), f"vertex {v} mismatch"
+    print("adjacency verified against input edge list")
+
+    # footprint: dynamic vs upper-bound preallocation
+    dynamic_bytes = built * NODE_BYTES
+    max_degree = max(len(v) for v in adj.values())
+    upper_bound_bytes = n_vertices * max_degree * 8
+    print(f"dynamic footprint:  {dynamic_bytes} bytes")
+    print(f"upper-bound prealloc (n_vertices x max_degree): "
+          f"{upper_bound_bytes} bytes "
+          f"({upper_bound_bytes / dynamic_bytes:.1f}x larger)")
+    print(f"insert rate:        {report.throughput(built):.3e} edges/s "
+          f"(virtual)")
+
+
+if __name__ == "__main__":
+    main()

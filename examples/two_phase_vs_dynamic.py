@@ -1,0 +1,146 @@
+"""The two-phase pattern vs. dynamic allocation (paper §1).
+
+Without a fast device allocator, GPU programmers "rely on a two-phase
+approach: a first stage computes the amount of memory required, and a
+second phase performs the actual computation" — every kernel runs
+twice, with a host synchronization and prefix sum in between.  A
+throughput-oriented allocator lets the single-pass version allocate as
+it discovers output sizes.
+
+Workload: a select-and-expand operator.  Each input element ``x``
+produces ``f(x)`` output words (data-dependent, 0–7):
+
+  A. two-phase: count kernel -> host sync + prefix sum -> emit kernel
+     into one exactly-sized buffer;
+  B. dynamic:  one kernel that mallocs each element's output on-device
+     and publishes the pointer in a per-element slot.
+
+The two produce identical output multisets.  The printout contrasts
+what each strategy pays: two-phase runs the per-element compute twice
+and crosses the host; dynamic runs once and pays the allocator.  (The
+simulator models device time only, so the host round-trip is charged
+explicitly at a typical launch+sync latency.)
+
+Run:  python examples/two_phase_vs_dynamic.py
+"""
+
+from repro.core import AllocatorConfig, ThroughputAllocator
+from repro.sim import DeviceMemory, GPUDevice, Scheduler, ops
+
+NULL = DeviceMemory.NULL
+
+#: virtual cycles of real per-element work (the part two-phase runs twice)
+COMPUTE_CYCLES = 2000
+
+#: charged to two-phase for its kernel-boundary host sync + relaunch
+#: (~20 us at the cost model's 1.2 GHz clock)
+HOST_ROUNDTRIP_CYCLES = 24_000
+
+
+def fanout(x: int) -> int:
+    """Data-dependent output size: 0..7 words."""
+    return (x * 2654435761) % 8
+
+
+# ----------------------------------------------------------------------
+# A. two-phase
+# ----------------------------------------------------------------------
+def count_kernel(ctx, inputs, counts):
+    yield ops.sleep(COMPUTE_CYCLES)  # the real per-element compute
+    counts[ctx.tid] = fanout(inputs[ctx.tid])
+
+
+def emit_kernel(ctx, inputs, offsets, out_addr):
+    x = inputs[ctx.tid]
+    yield ops.sleep(COMPUTE_CYCLES)  # the same compute, done again
+    base = out_addr + 8 * offsets[ctx.tid]
+    for k in range(fanout(x)):
+        yield ops.store(base + 8 * k, x * 10 + k)
+
+
+# ----------------------------------------------------------------------
+# B. dynamic single pass
+# ----------------------------------------------------------------------
+def dynamic_kernel(ctx, alloc, inputs, slots_addr):
+    x = inputs[ctx.tid]
+    yield ops.sleep(COMPUTE_CYCLES)
+    n = fanout(x)
+    if n == 0:
+        return
+    buf = yield from alloc.malloc(ctx, 8 + 8 * n)  # count + payload
+    if buf == NULL:
+        return
+    buf = (buf + 7) & ~7
+    yield ops.store(buf, n)
+    for k in range(n):
+        yield ops.store(buf + 8 + 8 * k, x * 10 + k)
+    yield ops.store(slots_addr + 8 * ctx.tid, buf)
+
+
+def main():
+    n = 4096
+    inputs = [(i * 37) % 1009 for i in range(n)]
+    device = GPUDevice(num_sms=4)
+    expected = sorted(x * 10 + k for x in inputs for k in range(fanout(x)))
+
+    # ---- A: two-phase ----
+    mem_a = DeviceMemory(32 << 20)
+    counts = [0] * n
+    s1 = Scheduler(mem_a, device, seed=1)
+    s1.launch(count_kernel, n // 256, 256, args=(inputs, counts))
+    rep_count = s1.run()
+    offsets, total = [0] * n, 0
+    for i, c in enumerate(counts):  # host prefix sum between kernels
+        offsets[i] = total
+        total += c
+    out_addr = mem_a.host_alloc(8 * max(total, 1))
+    s2 = Scheduler(mem_a, device, seed=2)
+    s2.launch(emit_kernel, n // 256, 256, args=(inputs, offsets, out_addr))
+    rep_emit = s2.run()
+    got_a = sorted(mem_a.load_word(out_addr + 8 * i) for i in range(total))
+    assert got_a == expected
+    two_phase = rep_count.cycles + HOST_ROUNDTRIP_CYCLES + rep_emit.cycles
+
+    # ---- B: dynamic ----
+    mem_b = DeviceMemory(32 << 20)
+    alloc = ThroughputAllocator(mem_b, device, AllocatorConfig(pool_order=10))
+    slots = mem_b.host_alloc(8 * n)
+    for i in range(n):
+        mem_b.store_word(slots + 8 * i, 0)
+    s3 = Scheduler(mem_b, device, seed=3)
+    s3.launch(dynamic_kernel, n // 256, 256, args=(alloc, inputs, slots))
+    rep_dyn = s3.run()
+    got_b = []
+    allocated_words = 0
+    for i in range(n):
+        buf = mem_b.load_word(slots + 8 * i)
+        if not buf:
+            continue
+        cnt = mem_b.load_word(buf)
+        allocated_words += cnt
+        got_b.extend(mem_b.load_word(buf + 8 + 8 * k) for k in range(cnt))
+    assert sorted(got_b) == expected
+
+    n_mallocs = alloc.stats.n_malloc
+    print(f"elements: {n}, output words: {total}")
+    print("results identical for both strategies\n")
+    print("two-phase pipeline:")
+    print(f"  count kernel  {rep_count.cycles:>8d} cycles  "
+          "(per-element compute, pass 1)")
+    print(f"  host sync     {HOST_ROUNDTRIP_CYCLES:>8d} cycles  "
+          "(launch boundary + prefix sum round-trip)")
+    print(f"  emit kernel   {rep_emit.cycles:>8d} cycles  "
+          "(per-element compute AGAIN, then stores)")
+    print(f"  total         {two_phase:>8d} cycles, compute executed twice")
+    print("dynamic single pass:")
+    print(f"  one kernel    {rep_dyn.cycles:>8d} cycles  "
+          f"({n_mallocs} device mallocs, compute executed once)")
+    print(f"\nmalloc overhead amortized: "
+          f"{(rep_dyn.cycles - rep_count.cycles) / n_mallocs:.0f} "
+          "cycles per allocation at this concurrency")
+    print("dynamic also never materializes a worst-case buffer and "
+          "needs no operator refactoring (paper §1 motivation)")
+
+
+if __name__ == "__main__":
+    main()

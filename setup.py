@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline reproduction environment lacks the ``wheel`` package, which
+setuptools needs for PEP 660 editable installs; this shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

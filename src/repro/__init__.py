@@ -1,0 +1,42 @@
+"""repro — a full reproduction of *Throughput-Oriented GPU Memory
+Allocation* (Gelado & Garland, PPoPP 2019) on a deterministic SIMT
+simulator.
+
+Layering (bottom-up):
+
+* :mod:`repro.sim` — the execution substrate: device memory, serialized
+  same-word atomics, warps/blocks/SM residency, virtual-cycle costs.
+* :mod:`repro.sync` — the paper's synchronization contributions: bulk
+  semaphores, RCU with delegated barriers, collective mutexes.
+* :mod:`repro.core` — the allocator: TBuddy + UAlloc behind standard
+  ``malloc``/``free``.
+* :mod:`repro.baselines` — CUDA-like, bump-pointer and lock-buddy
+  comparators.
+* :mod:`repro.bench` — harnesses regenerating every evaluation figure.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from . import baselines, bench, core, sim, sync
+from .core import AllocatorConfig, ThroughputAllocator
+from .sim import DeviceMemory, GPUDevice, Scheduler
+from .sync import RCU, BulkSemaphore, CollectiveMutex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "sync",
+    "core",
+    "baselines",
+    "bench",
+    "ThroughputAllocator",
+    "AllocatorConfig",
+    "DeviceMemory",
+    "GPUDevice",
+    "Scheduler",
+    "BulkSemaphore",
+    "RCU",
+    "CollectiveMutex",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro fig5          # Figure 5: bulk vs counting semaphores
+    python -m repro fig6          # Figure 6: RCU delegation speedup
+    python -m repro fig7          # Figure 7: allocator rate by size
+    python -m repro ablations     # DESIGN.md design-choice ablations
+    python -m repro shootout      # cross-allocator comparison
+    python -m repro fragmentation # fragmentation-over-time study
+    python -m repro all           # everything above in sequence
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import ablations, fig5, fig6, fig7, fragmentation, shootout
+
+_TARGETS = {
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "ablations": ablations.main,
+    "shootout": shootout.main,
+    "fragmentation": fragmentation.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the PPoPP'19 allocator paper's evaluation "
+                    "on the simulator.",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(_TARGETS) + ["all"],
+        help="which experiment to run",
+    )
+    args = parser.parse_args(argv)
+    targets = sorted(_TARGETS) if args.target == "all" else [args.target]
+    for name in targets:
+        print(f"=== {name} " + "=" * (60 - len(name)))
+        t0 = time.time()
+        _TARGETS[name]()
+        print(f"    ({time.time() - t0:.1f}s wall)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Baseline allocators the paper's contribution is measured against.
+
+* :class:`CudaLikeAllocator` — stands in for the CUDA 9 device
+  ``malloc`` (global-lock first-fit; the Figure 7 baseline).
+* :class:`BumpAllocator` — Vinkler-style atomic bump pointer
+  (throughput ceiling / fragmentation floor).
+* :class:`LockBuddy` — textbook global-lock buddy system (ablation
+  baseline isolating TBuddy's concurrency machinery).
+* :class:`ScatterAlloc` — hashed-bitmap pages [Steinberger et al. 2012].
+* :class:`XMalloc` — lock-free bin stacks over a bump region
+  [Huang et al. 2010].
+"""
+
+from .bump import BumpAllocator
+from .cuda_malloc import BaselineHeapError, CudaLikeAllocator
+from .lock_buddy import LockBuddy, LockBuddyError
+from .scatteralloc import ScatterAlloc, ScatterAllocError
+from .xmalloc import XMalloc, XMallocError
+
+__all__ = [
+    "CudaLikeAllocator",
+    "BaselineHeapError",
+    "BumpAllocator",
+    "LockBuddy",
+    "LockBuddyError",
+    "ScatterAlloc",
+    "ScatterAllocError",
+    "XMalloc",
+    "XMallocError",
+]

@@ -1,0 +1,56 @@
+"""Vinkler-style bump-pointer baseline [Vinkler & Havran 2014].
+
+A single atomically incremented offset: allocation is one ``atomicAdd``,
+``free`` is a no-op.  The paper cites this as the register-cheap design
+whose price is unbounded fragmentation — memory is only recovered by
+:meth:`reset`.  Used as the throughput upper bound and the
+fragmentation lower bound in ablation benches.
+"""
+
+from __future__ import annotations
+
+from ..sim import ops
+from ..sim.device import ThreadCtx
+from ..sim.memory import DeviceMemory
+
+_NULL = DeviceMemory.NULL
+
+
+class BumpAllocator:
+    """Atomic bump allocator over ``[base, base+size)``."""
+
+    def __init__(self, mem: DeviceMemory, base: int, size: int, align: int = 16):
+        if align <= 0 or align & (align - 1):
+            raise ValueError("align must be a power of two")
+        self.mem = mem
+        self.base = base
+        self.size = size
+        self.align = align
+        self.off_addr = mem.host_alloc(8)
+        mem.store_word(self.off_addr, 0)
+
+    def malloc(self, ctx: ThreadCtx, nbytes: int):
+        """One atomic add; returns NULL once the pool is spent."""
+        if nbytes <= 0:
+            return _NULL
+        need = (nbytes + self.align - 1) & ~(self.align - 1)
+        old = yield ops.atomic_add(self.off_addr, need)
+        if old + need > self.size:
+            # Burned the tail of the pool; later frees cannot recover it
+            # (the defining weakness of this design).
+            return _NULL
+        return self.base + old
+
+    def free(self, ctx: ThreadCtx, addr: int):
+        """Individual frees are no-ops."""
+        if False:  # pragma: no cover - keeps this a generator
+            yield
+
+    def reset(self) -> None:
+        """Host-side wholesale reset (the only reclamation available)."""
+        self.mem.store_word(self.off_addr, 0)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes consumed so far (host-side)."""
+        return min(self.mem.load_word(self.off_addr), self.size)

@@ -1,0 +1,160 @@
+"""CUDA-toolkit-style baseline allocator.
+
+The paper benchmarks against the closed-source device ``malloc`` of the
+CUDA 9 toolkit.  Its observable behaviour — allocation rates in the
+10^4–10^6 /s range, essentially flat in thread count — is that of a
+serializing allocator; we model it as the textbook design such a
+profile implies: a **first-fit boundary-tag free list behind one global
+lock** (see DESIGN.md, substitutions).
+
+Block layout (all sizes multiples of 16, including overhead)::
+
+    [ header 8B: size | USED flag ]
+    [ payload ... ]               <- returned pointer (header + 16)
+    [ pad 8B of header area ]
+    [ footer 8B: size ]           <- enables backward coalescing
+
+Free blocks keep list links in their first two payload words, reusing
+the intrusive :class:`~repro.core.dlist.DList` machinery.
+"""
+
+from __future__ import annotations
+
+from ..core.dlist import DList
+from ..sim import ops
+from ..sim.device import ThreadCtx
+from ..sim.errors import SimError
+from ..sim.memory import DeviceMemory
+from ..sync.spinlock import SpinLock
+
+_NULL = DeviceMemory.NULL
+USED = 1
+
+HDR = 16          # bytes before the payload
+FTR = 8           # footer bytes at the end of each block
+MIN_BLOCK = 48    # smallest split remainder worth keeping
+
+
+class BaselineHeapError(SimError):
+    """Corruption detected in the baseline allocator's heap."""
+
+
+class CudaLikeAllocator:
+    """Global-lock first-fit allocator over ``[base, base+size)``."""
+
+    def __init__(self, mem: DeviceMemory, base: int, size: int):
+        if base % 16 or size % 16:
+            raise ValueError("heap base and size must be 16-byte aligned")
+        if size < MIN_BLOCK:
+            raise ValueError("heap too small")
+        self.mem = mem
+        self.base = base
+        self.size = size
+        self.lock = SpinLock(mem)
+        # free-list links live in payload words 0 and 1 => offsets 16/24
+        # from the block header.
+        self.freelist = DList(mem, next_off=HDR, prev_off=HDR + 8)
+        # one block spanning the whole heap
+        mem.store_word(base, size)
+        mem.store_word(base + size - FTR, size)
+        self._host_link_initial()
+
+    def _host_link_initial(self) -> None:
+        m = self.mem
+        head = self.freelist.head
+        m.store_word(head + HDR, self.base)
+        m.store_word(head + HDR + 8, self.base)
+        m.store_word(self.base + HDR, head)
+        m.store_word(self.base + HDR + 8, head)
+
+    # ------------------------------------------------------------------
+    # device interface
+    # ------------------------------------------------------------------
+    def malloc(self, ctx: ThreadCtx, nbytes: int):
+        """First-fit allocation; returns payload address or NULL."""
+        if nbytes <= 0:
+            return _NULL
+        need = (nbytes + HDR + FTR + 15) & ~15
+        if need < MIN_BLOCK:
+            need = MIN_BLOCK
+        yield from self.lock.lock(ctx)
+        node = yield from self.freelist.first(ctx)
+        while not self.freelist.is_end(node):
+            size = yield ops.load(node)
+            if size >= need:
+                yield from self._take(ctx, node, size, need)
+                yield from self.lock.unlock(ctx)
+                return node + HDR
+            node = yield from self.freelist.next(ctx, node)
+        yield from self.lock.unlock(ctx)
+        return _NULL
+
+    def _take(self, ctx: ThreadCtx, block: int, size: int, need: int):
+        yield from self.freelist.remove(ctx, block)
+        remainder = size - need
+        if remainder >= MIN_BLOCK:
+            rest = block + need
+            yield ops.store(rest, remainder)
+            yield ops.store(rest + remainder - FTR, remainder)
+            yield from self.freelist.insert_head(ctx, rest)
+            size = need
+        yield ops.store(block, size | USED)
+        yield ops.store(block + size - FTR, size)
+
+    def free(self, ctx: ThreadCtx, addr: int):
+        """Release a payload pointer; coalesces with both neighbours."""
+        if addr == _NULL:
+            return
+        block = addr - HDR
+        yield from self.lock.lock(ctx)
+        hdr = yield ops.load(block)
+        if not hdr & USED:
+            yield from self.lock.unlock(ctx)
+            raise BaselineHeapError(f"double free at {addr:#x}")
+        size = hdr & ~USED
+        # backward coalesce
+        if block > self.base:
+            prev_size = yield ops.load(block - FTR)
+            prev = block - prev_size
+            phdr = yield ops.load(prev)
+            if not phdr & USED:
+                yield from self.freelist.remove(ctx, prev)
+                block = prev
+                size += prev_size
+        # forward coalesce
+        nxt = block + size
+        if nxt < self.base + self.size:
+            nhdr = yield ops.load(nxt)
+            if not nhdr & USED:
+                yield from self.freelist.remove(ctx, nxt)
+                size += nhdr & ~USED
+        yield ops.store(block, size)
+        yield ops.store(block + size - FTR, size)
+        yield from self.freelist.insert_head(ctx, block)
+        yield from self.lock.unlock(ctx)
+
+    # ------------------------------------------------------------------
+    # host-side introspection
+    # ------------------------------------------------------------------
+    def host_free_bytes(self) -> int:
+        """Sum of free-block sizes (quiescent only)."""
+        return sum(self.mem.load_word(b) for b in self.freelist.host_items())
+
+    def host_walk(self) -> list[tuple[int, int, bool]]:
+        """(addr, size, used) for every block, validating the layout."""
+        out = []
+        block = self.base
+        while block < self.base + self.size:
+            hdr = self.mem.load_word(block)
+            used = bool(hdr & USED)
+            size = hdr & ~USED
+            if size < MIN_BLOCK or block + size > self.base + self.size:
+                raise BaselineHeapError(f"bad block at {block:#x}: size {size}")
+            ftr = self.mem.load_word(block + size - FTR)
+            if ftr != size:
+                raise BaselineHeapError(
+                    f"footer mismatch at {block:#x}: {ftr} != {size}"
+                )
+            out.append((block, size, used))
+            block += size
+        return out

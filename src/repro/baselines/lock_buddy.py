@@ -1,0 +1,142 @@
+"""Classical global-lock buddy allocator (ablation baseline for TBuddy).
+
+The textbook design the paper starts from in §4.1: a table of per-order
+free lists, every operation inside one global critical section.
+Functionally equivalent to TBuddy (same sizes, same alignment, same
+fragmentation behaviour) but with none of the paper's concurrency
+machinery — benchmarking the two isolates the value of the tree +
+bulk-semaphore design.
+
+Free blocks carry their list links in their first two words.  A side
+table of one word per page records, for each live block base, its order
+(+1), enabling ``free`` without a size argument.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.dlist import DList
+from ..sim import ops
+from ..sim.device import ThreadCtx
+from ..sim.errors import SimError
+from ..sim.memory import DeviceMemory
+from ..sync.spinlock import SpinLock
+
+_NULL = DeviceMemory.NULL
+
+
+class LockBuddyError(SimError):
+    """Invalid free or heap corruption in the lock buddy."""
+
+
+class LockBuddy:
+    """Buddy allocator over ``2**max_order`` pages, one global lock."""
+
+    def __init__(self, mem: DeviceMemory, base: int, page_size: int, max_order: int):
+        if base % page_size:
+            raise ValueError("base must be page aligned")
+        self.mem = mem
+        self.base = base
+        self.page_size = page_size
+        self.max_order = max_order
+        self.n_pages = 1 << max_order
+        self.pool_size = self.n_pages * page_size
+        self.lock = SpinLock(mem)
+        # free lists keep links in the block body (offsets 0 and 8)
+        self.freelists: List[DList] = [
+            DList(mem, next_off=0, prev_off=8) for _ in range(max_order + 1)
+        ]
+        # page -> order+1 of the free/used block based there; 0 = not a base
+        self.info_addr = mem.host_alloc(8 * self.n_pages)
+        mem.fill_words(self.info_addr, self.n_pages, 0)
+        # seed: one max-order free block
+        mem.store_word(self._info(0), max_order + 1)
+        lst = self.freelists[max_order]
+        mem.store_word(lst.head + 0, base)   # abuse: host-side link
+        mem.store_word(lst.head + 8, base)
+        mem.store_word(base + 0, lst.head)
+        mem.store_word(base + 8, lst.head)
+        self.used_addr = mem.host_alloc(8 * self.n_pages)  # page -> used order+1
+        mem.fill_words(self.used_addr, self.n_pages, 0)
+
+    def _info(self, page: int) -> int:
+        return self.info_addr + 8 * page
+
+    def _used(self, page: int) -> int:
+        return self.used_addr + 8 * page
+
+    def _page(self, addr: int) -> int:
+        off = addr - self.base
+        if off % self.page_size or not (0 <= off < self.pool_size):
+            raise LockBuddyError(f"{addr:#x} is not a pool page")
+        return off // self.page_size
+
+    # ------------------------------------------------------------------
+    def alloc(self, ctx: ThreadCtx, order: int):
+        """Allocate a block of ``order``; returns address or NULL."""
+        if order < 0 or order > self.max_order:
+            return _NULL
+        yield from self.lock.lock(ctx)
+        # find the smallest non-empty order >= requested
+        have = -1
+        for o in range(order, self.max_order + 1):
+            node = yield from self.freelists[o].first(ctx)
+            if not self.freelists[o].is_end(node):
+                have = o
+                break
+        if have < 0:
+            yield from self.lock.unlock(ctx)
+            return _NULL
+        addr = node
+        yield from self.freelists[have].remove(ctx, addr)
+        yield ops.store(self._info(self._page(addr)), 0)
+        # split down to the requested order
+        while have > order:
+            have -= 1
+            buddy = addr + (self.page_size << have)
+            yield ops.store(self._info(self._page(buddy)), have + 1)
+            yield from self.freelists[have].insert_head(ctx, buddy)
+        yield ops.store(self._used(self._page(addr)), order + 1)
+        yield from self.lock.unlock(ctx)
+        return addr
+
+    def alloc_bytes(self, ctx: ThreadCtx, nbytes: int):
+        """Allocate the smallest power-of-two block >= ``nbytes``."""
+        pages = max(1, -(-nbytes // self.page_size))
+        addr = yield from self.alloc(ctx, (pages - 1).bit_length())
+        return addr
+
+    def free(self, ctx: ThreadCtx, addr: int):
+        """Release a block; coalesces greedily with free buddies."""
+        yield from self.lock.lock(ctx)
+        page = self._page(addr)
+        used = yield ops.load(self._used(page))
+        if not used:
+            yield from self.lock.unlock(ctx)
+            raise LockBuddyError(f"free of unallocated {addr:#x}")
+        order = used - 1
+        yield ops.store(self._used(page), 0)
+        off = addr - self.base
+        while order < self.max_order:
+            buddy_off = off ^ (self.page_size << order)
+            buddy = self.base + buddy_off
+            binfo = yield ops.load(self._info(self._page(buddy)))
+            if binfo != order + 1:
+                break
+            yield from self.freelists[order].remove(ctx, buddy)
+            yield ops.store(self._info(self._page(buddy)), 0)
+            off = min(off, buddy_off)
+            order += 1
+        merged = self.base + off
+        yield ops.store(self._info(self._page(merged)), order + 1)
+        yield from self.freelists[order].insert_head(ctx, merged)
+        yield from self.lock.unlock(ctx)
+
+    # ------------------------------------------------------------------
+    def host_free_bytes(self) -> int:
+        """Total free bytes (quiescent only)."""
+        total = 0
+        for o, lst in enumerate(self.freelists):
+            total += len(lst.host_items()) * (self.page_size << o)
+        return total

@@ -1,0 +1,67 @@
+"""Result containers and plain-text table rendering for the benches.
+
+The paper's evaluation is three figures; each bench module produces
+:class:`Series` objects (one per line in the figure) plus a rendered
+table so results can be eyeballed in CI logs and pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label and aligned x/y vectors."""
+
+    label: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def y_at(self, x: float) -> float:
+        """The y value recorded for ``x`` (exact match)."""
+        return self.ys[self.xs.index(x)]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def si(value: float) -> str:
+    """Human-scale a number: 12_300_000 -> '12.3M'."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f}{suffix}"
+    return f"{value:.2f}"
+
+
+def size_label(nbytes: int) -> str:
+    """'8 B', '4 KB', '512 KB' style size labels as in Figure 7."""
+    if nbytes >= 1 << 20:
+        return f"{nbytes >> 20} MB"
+    if nbytes >= 1 << 10:
+        return f"{nbytes >> 10} KB"
+    return f"{nbytes} B"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Cross-allocator shootout (extends the paper's Figure 7 comparison to
+every §2.2 related-work design we implement).
+
+One workload — a malloc/hold/free churn at a fixed small size — run
+against: this paper's allocator (scalar and warp-coalesced), the
+CUDA-like lock allocator, XMalloc-style bin stacks, ScatterAlloc-style
+hashed pages, and the bump pointer.  Reports virtual throughput and the
+failure count; the bump pointer additionally demonstrates its
+fragmentation pathology (it fails once the pool's been written through,
+regardless of frees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..baselines import (
+    BumpAllocator,
+    CudaLikeAllocator,
+    ScatterAlloc,
+    XMalloc,
+)
+from ..core import AllocatorConfig, ThroughputAllocator
+from ..sim import GPUDevice, DeviceMemory, Scheduler, ops
+from .reporting import format_table, si
+
+_NULL = DeviceMemory.NULL
+
+
+@dataclass
+class ShootoutPoint:
+    name: str
+    throughput: float  # successful ops (malloc+free pairs) per second
+    failures: int
+    cycles: int
+
+
+@dataclass
+class ShootoutResult:
+    size: int
+    nthreads: int
+    iters: int
+    points: List[ShootoutPoint]
+
+    def table(self) -> str:
+        base = {p.name: p for p in self.points}.get("ours (scalar)")
+        rows = []
+        for p in sorted(self.points, key=lambda p: -p.throughput):
+            rel = (p.throughput / base.throughput) if base else 0.0
+            rows.append([p.name, si(p.throughput), p.failures, f"{rel:.2f}x"])
+        return format_table(
+            ["allocator", "pairs/s", "failures", "vs ours"], rows
+        )
+
+
+def _churn_kernel(malloc_fn, free_fn, size, iters, failures):
+    def kernel(ctx):
+        f = 0
+        for _ in range(iters):
+            p = yield from malloc_fn(ctx, size)
+            if p == _NULL:
+                f += 1
+                yield ops.cpu_yield()
+                continue
+            yield ops.sleep(ctx.rng.randrange(100))
+            yield from free_fn(ctx, p)
+        failures.append(f)
+
+    return kernel
+
+
+def run(
+    size: int = 64,
+    nthreads: int = 2048,
+    iters: int = 2,
+    device: Optional[GPUDevice] = None,
+    seed: int = 9,
+    pool: int = 1 << 20,
+    which: Optional[List[str]] = None,
+) -> ShootoutResult:
+    """Run the churn shootout; returns per-allocator results."""
+    device = device or GPUDevice(num_sms=2)
+    points = []
+
+    def build_ours(mem):
+        cfg = AllocatorConfig(pool_order=(pool // 4096 - 1).bit_length())
+        a = ThroughputAllocator(mem, device, cfg, checked=False)
+        return a.malloc, a.free
+
+    def build_ours_coalesced(mem):
+        cfg = AllocatorConfig(pool_order=(pool // 4096 - 1).bit_length())
+        a = ThroughputAllocator(mem, device, cfg, checked=False)
+        return a.malloc_coalesced, a.free
+
+    def build_cuda(mem):
+        base = mem.host_alloc(pool, align=16)
+        a = CudaLikeAllocator(mem, base, pool)
+        return a.malloc, a.free
+
+    def build_xmalloc(mem):
+        base = mem.host_alloc(pool, align=4096)
+        a = XMalloc(mem, base, pool)
+        return a.malloc, a.free
+
+    def build_scatter(mem):
+        base = mem.host_alloc(pool, align=4096)
+        a = ScatterAlloc(mem, base, pool)
+        return a.malloc, a.free
+
+    def build_bump(mem):
+        base = mem.host_alloc(pool, align=16)
+        a = BumpAllocator(mem, base, pool)
+        return a.malloc, a.free
+
+    builders: Dict[str, Callable] = {
+        "ours (scalar)": build_ours,
+        "ours (coalesced)": build_ours_coalesced,
+        "CUDA-like": build_cuda,
+        "XMalloc-like": build_xmalloc,
+        "ScatterAlloc-like": build_scatter,
+        "bump pointer": build_bump,
+    }
+    for name, build in builders.items():
+        if which is not None and name not in which:
+            continue
+        mem = DeviceMemory(pool * 4 + (8 << 20))
+        malloc_fn, free_fn = build(mem)
+        failures: List[int] = []
+        kernel = _churn_kernel(malloc_fn, free_fn, size, iters, failures)
+        sched = Scheduler(mem, device, seed=seed)
+        sched.launch(kernel, -(-nthreads // 256), min(256, nthreads))
+        report = sched.run()
+        n_fail = sum(failures)
+        ok_pairs = nthreads * iters - n_fail
+        points.append(ShootoutPoint(
+            name=name,
+            throughput=report.throughput(max(ok_pairs, 1)),
+            failures=n_fail,
+            cycles=report.cycles,
+        ))
+    return ShootoutResult(size=size, nthreads=nthreads, iters=iters,
+                          points=points)
+
+
+def main():  # pragma: no cover - CLI convenience
+    res = run()
+    print(f"Allocator shootout ({res.size} B churn, {res.nthreads} threads, "
+          f"{res.iters} iters):")
+    print(res.table())
+    return res
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,108 @@
+"""Workload builders shared by benches, examples and tests.
+
+Each builder returns a kernel (generator function) closed over its
+parameters, plus whatever host-side result containers it populates.
+Kernels follow the package convention: ``kernel(ctx, ...)`` yielding
+simulator ops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from ..sim import ops
+from ..sim.memory import DeviceMemory
+
+_NULL = DeviceMemory.NULL
+
+
+def malloc_storm(allocator, size: int, out: Optional[List[int]] = None):
+    """Every thread calls ``malloc(size)`` once (the Figure 7 workload).
+
+    Returns ``(kernel, out)`` where ``out`` collects one address (or
+    NULL) per completed thread.
+    """
+    if out is None:
+        out = []
+
+    def kernel(ctx):
+        p = yield from allocator.malloc(ctx, size)
+        out.append(p)
+
+    return kernel, out
+
+
+def churn(allocator, sizes: Sequence[int], iters: int,
+          hold_cycles: int = 200, out: Optional[List[int]] = None):
+    """Repeated malloc/hold/free cycles with sizes drawn per-thread.
+
+    Exercises steady-state behaviour: bins filling and draining,
+    retirement, merge traffic.  ``out`` records failed allocation counts
+    per thread.
+    """
+    if out is None:
+        out = []
+
+    def kernel(ctx):
+        failures = 0
+        for i in range(iters):
+            size = sizes[(ctx.tid + i) % len(sizes)]
+            p = yield from allocator.malloc(ctx, size)
+            if p == _NULL:
+                failures += 1
+                yield ops.cpu_yield()
+                continue
+            yield ops.sleep(ctx.rng.randrange(hold_cycles))
+            yield from allocator.free(ctx, p)
+        out.append(failures)
+
+    return kernel, out
+
+
+def producer_consumer(allocator, size: int, slots: int, mem, iters: int):
+    """Half the threads allocate and publish pointers through a mailbox
+    array; the other half consume and free them.
+
+    Crosses frees between SMs/arenas (the paper's free-anywhere path).
+    Returns ``(kernel, mailbox_addr)``; the mailbox must be zeroed
+    between runs.
+    """
+    mailbox = mem.host_alloc(8 * slots)
+    for i in range(slots):
+        mem.store_word(mailbox + 8 * i, 0)
+
+    def kernel(ctx):
+        half = ctx.nthreads // 2
+        if ctx.tid < half:  # producer
+            for i in range(iters):
+                p = yield from allocator.malloc(ctx, size)
+                if p == _NULL:
+                    continue
+                slot = mailbox + 8 * ((ctx.tid + i) % slots)
+                # publish; spin until the slot is empty
+                while True:
+                    old = yield ops.atomic_cas(slot, 0, p + 1)
+                    if old == 0:
+                        break
+                    yield ops.cpu_yield()
+        else:  # consumer
+            for i in range(iters):
+                slot = mailbox + 8 * (((ctx.tid - half) + i) % slots)
+                while True:
+                    val = yield ops.atomic_exch(slot, 0)
+                    if val:
+                        break
+                    yield ops.cpu_yield()
+                yield from allocator.free(ctx, val - 1)
+
+    return kernel, mailbox
+
+
+def mixed_size_trace(seed: int, n: int, classes: Sequence[int],
+                     weights: Optional[Sequence[float]] = None) -> List[int]:
+    """A deterministic per-call size trace for repeatable experiments."""
+    rng = random.Random(seed)
+    if weights is None:
+        return [rng.choice(list(classes)) for _ in range(n)]
+    return rng.choices(list(classes), weights=list(weights), k=n)

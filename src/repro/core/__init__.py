@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the throughput-oriented allocator.
+
+Public surface:
+
+* :class:`ThroughputAllocator` — device-side ``malloc``/``free``.
+* :class:`TBuddy` — the coarse tree buddy allocator (§4.1).
+* :class:`UAlloc` — the fine-grained unaligned allocator (§4.2).
+* :class:`AllocatorConfig` — sizing knobs.
+"""
+
+from .allocator import AllocStats, ThroughputAllocator
+from .arena import Arena, SizeClass
+from .bin_ import BinOps, DoubleFree, HeapCorruption
+from .config import DEFAULT_CONFIG, AllocatorConfig, round_up_pow2
+from .dlist import DList
+from .layout import BinLayout
+from .tbuddy import TBuddy
+from .ualloc import UAlloc
+
+__all__ = [
+    "ThroughputAllocator",
+    "AllocStats",
+    "TBuddy",
+    "UAlloc",
+    "Arena",
+    "SizeClass",
+    "BinOps",
+    "DList",
+    "BinLayout",
+    "AllocatorConfig",
+    "DEFAULT_CONFIG",
+    "round_up_pow2",
+    "DoubleFree",
+    "HeapCorruption",
+]

@@ -1,0 +1,186 @@
+"""The combined throughput-oriented allocator (paper §4).
+
+``malloc`` rounds the request up to a power of two and routes it: sizes
+up to half a bin go to :class:`~repro.core.ualloc.UAlloc`, larger sizes
+to :class:`~repro.core.tbuddy.TBuddy`.  ``free`` routes purely by
+address alignment — TBuddy results are always page aligned, UAlloc
+results never are — so no shared ownership structure exists to contend
+on (the paper's "key property").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.device import GPUDevice, ThreadCtx
+from ..sim.memory import DeviceMemory
+from .config import DEFAULT_CONFIG, AllocatorConfig, round_up_pow2
+from .tbuddy import TBuddy
+from .ualloc import UAlloc
+
+_NULL = DeviceMemory.NULL
+
+
+@dataclass
+class AllocStats:
+    """Host-side counters accumulated across kernel runs."""
+
+    n_malloc: int = 0
+    n_malloc_failed: int = 0
+    n_free: int = 0
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of malloc calls that returned NULL."""
+        return self.n_malloc_failed / self.n_malloc if self.n_malloc else 0.0
+
+
+class ThroughputAllocator:
+    """Device-side ``malloc``/``free`` over a simulated memory pool.
+
+    Typical setup::
+
+        mem = DeviceMemory(64 << 20)
+        alloc = ThroughputAllocator(mem, device)
+
+        def kernel(ctx):
+            p = yield from alloc.malloc(ctx, 48)
+            ...
+            yield from alloc.free(ctx, p)
+
+    Parameters
+    ----------
+    checked:
+        Verify bulk-semaphore transitions and header magics (slower,
+        default on; benchmarks turn it off).
+    collective_chunks:
+        Use the collective chunk-list mutex (ablation knob, §4.2.2).
+    """
+
+    def __init__(
+        self,
+        mem: DeviceMemory,
+        device: GPUDevice,
+        cfg: AllocatorConfig = DEFAULT_CONFIG,
+        checked: bool = True,
+        collective_chunks: bool = True,
+    ):
+        self.mem = mem
+        self.cfg = cfg
+        # Chunk-aligned base makes chunk_of() pure masking and guarantees
+        # the page-alignment routing property.
+        self.pool_base = mem.host_alloc(cfg.pool_size, align=cfg.chunk_size)
+        self.tbuddy = TBuddy(
+            mem, self.pool_base, cfg.page_size, cfg.pool_order,
+            checked_sems=checked,
+        )
+        self.ualloc = UAlloc(
+            mem, cfg, self.tbuddy, self.pool_base, device.num_sms,
+            checked_sems=checked, collective_chunks=collective_chunks,
+        )
+        self.stats = AllocStats()
+
+    # ------------------------------------------------------------------
+    # device-side interface
+    # ------------------------------------------------------------------
+    def malloc(self, ctx: ThreadCtx, nbytes: int):
+        """Allocate at least ``nbytes``; returns the address or NULL."""
+        if nbytes <= 0:
+            return _NULL
+        size = round_up_pow2(max(nbytes, self.cfg.min_alloc))
+        if size <= self.cfg.max_ualloc_size:
+            addr = yield from self.ualloc.malloc(ctx, size)
+        else:
+            addr = yield from self.tbuddy.alloc_bytes(ctx, size)
+        self.stats.n_malloc += 1
+        if addr == _NULL:
+            self.stats.n_malloc_failed += 1
+        return addr
+
+    def malloc_coalesced(self, ctx: ThreadCtx, nbytes: int):
+        """Warp-coalescing ``malloc``: converging lanes that request the
+        same size class are served by one leader operation (the paper's
+        transparent full-warp specialized path).
+
+        Semantically identical to :meth:`malloc`; profitable when whole
+        warps allocate together (the common data-parallel pattern), at
+        the cost of a convergence rendezvous when they do not.
+        """
+        if nbytes <= 0:
+            return _NULL
+        size = round_up_pow2(max(nbytes, self.cfg.min_alloc))
+        if size <= self.cfg.max_ualloc_size:
+            addr = yield from self.ualloc.malloc_coalesced(ctx, size)
+        else:
+            addr = yield from self.tbuddy.alloc_bytes(ctx, size)
+        self.stats.n_malloc += 1
+        if addr == _NULL:
+            self.stats.n_malloc_failed += 1
+        return addr
+
+    def free(self, ctx: ThreadCtx, addr: int):
+        """Release a block returned by :meth:`malloc` (NULL is a no-op)."""
+        if addr == _NULL:
+            return
+        self.stats.n_free += 1
+        if (addr - self.pool_base) % self.cfg.page_size == 0:
+            yield from self.tbuddy.free(ctx, addr)
+        else:
+            yield from self.ualloc.free(ctx, addr)
+
+    # ------------------------------------------------------------------
+    # host-side introspection
+    # ------------------------------------------------------------------
+    def host_drain_reclamation(self) -> int:
+        """Finish all deferred reclamation host-side (quiescent only)."""
+        return self.ualloc.host_drain_reclamation()
+
+    def host_live_chunks(self) -> list[int]:
+        """Chunk base addresses currently allocated from TBuddy
+        (quiescent only; distinguishes chunks from direct coarse
+        allocations via the chunk magic)."""
+        from .bin_ import CH_MAGIC_OFF, CHUNK_MAGIC
+
+        out = []
+        for addr, order in self.tbuddy.host_allocated_blocks():
+            if (
+                order == self.cfg.chunk_order
+                and self.mem.load_word(addr + CH_MAGIC_OFF) == CHUNK_MAGIC
+            ):
+                out.append(addr)
+        return out
+
+    def host_used_bytes(self) -> int:
+        """Bytes currently handed out to the application (quiescent
+        only): UAlloc blocks in use plus direct TBuddy allocations —
+        allocator metadata (headers, empty bins, retiring chunks)
+        excluded."""
+        from .bin_ import CH_BITMAP_OFF, RETIRED
+
+        all_ones = (1 << 64) - 1
+        chunks = set(self.host_live_chunks())
+        used = 0
+        for addr, order in self.tbuddy.host_allocated_blocks():
+            if addr in chunks:
+                bitmap = self.mem.load_word(addr + CH_BITMAP_OFF)
+                if bitmap == all_ones and order == self.cfg.chunk_order:
+                    continue  # retiring: reclamation pending, nothing live
+                for b in range(2, self.cfg.bins_per_chunk):
+                    if not bitmap & (1 << b):
+                        continue
+                    info = self.ualloc.binops.host_summary(
+                        self.mem, addr + b * self.cfg.bin_size
+                    )
+                    if info["count"] < RETIRED:
+                        used += info["used_blocks"] * info["size"]
+            else:
+                used += self.cfg.page_size << order
+        return used
+
+    def host_check(self, strict_siblings: bool = False) -> None:
+        """Quiescent-state consistency check of the whole allocator."""
+        self.tbuddy.check_invariants(strict_siblings=strict_siblings)
+        for arena in self.ualloc.arenas:
+            arena.chunks.host_check()
+            for sc in arena.classes:
+                sc.bins.host_check()

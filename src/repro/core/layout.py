@@ -1,0 +1,105 @@
+"""Chunk/bin/tail address arithmetic (paper §4.2, Figure 3).
+
+A chunk is ``bins_per_chunk`` bins.  Bin 0 starts with the 128-byte
+chunk header; bin 1 starts with 128 reserved bytes.  The remaining
+bodies of bins 0 and 1 are carved into 128-byte *tails*, one per regular
+bin (bins 2..).  Tail ``t`` is logically appended to bin ``t + 2`` at
+logical offset ``bin_size``, so a bin of blocks no larger than
+``tail_size`` can allocate the full ``bin_size`` bytes despite losing
+``bin_header_size`` to its header.
+
+Because every physical block address is ``bin_header_size``-odd within
+some 4 KB bin (main region starts at offset 128; tails live at offsets
+128..4096-128 of the special bins), **no UAlloc block is ever page
+aligned**, which is what lets ``free()`` route by alignment alone.
+
+All functions here are pure address arithmetic — no device memory access
+— and are exercised directly by property tests.
+"""
+
+from __future__ import annotations
+
+from .config import AllocatorConfig
+
+
+class BinLayout:
+    """Precomputed layout helper bound to one :class:`AllocatorConfig`."""
+
+    __slots__ = ("cfg", "tails_per_special", "_chunk_mask", "_bin_mask")
+
+    def __init__(self, cfg: AllocatorConfig):
+        self.cfg = cfg
+        self.tails_per_special = (cfg.bin_size - cfg.bin_header_size) // cfg.tail_size
+        self._chunk_mask = cfg.chunk_size - 1
+        self._bin_mask = cfg.bin_size - 1
+
+    # -- forward mapping -------------------------------------------------
+    def bin_base(self, chunk_base: int, bin_index: int) -> int:
+        """Physical address of bin ``bin_index`` within the chunk."""
+        return chunk_base + bin_index * self.cfg.bin_size
+
+    def tail_base(self, chunk_base: int, bin_index: int) -> int:
+        """Physical address of the tail belonging to regular bin
+        ``bin_index`` (>= 2)."""
+        t = bin_index - 2
+        cfg = self.cfg
+        if t < self.tails_per_special:
+            return chunk_base + cfg.bin_header_size + t * cfg.tail_size
+        t -= self.tails_per_special
+        return chunk_base + cfg.bin_size + cfg.bin_header_size + t * cfg.tail_size
+
+    def block_addr(self, chunk_base: int, bin_index: int, size: int, k: int) -> int:
+        """Physical address of block ``k`` of a bin holding ``size``-byte
+        blocks.  Blocks whose logical offset reaches ``bin_size`` live in
+        the bin's tail."""
+        cfg = self.cfg
+        logical = cfg.bin_header_size + k * size
+        if logical + size <= cfg.bin_size:
+            return self.bin_base(chunk_base, bin_index) + logical
+        # tail block (only possible for size <= tail_size)
+        return self.tail_base(chunk_base, bin_index) + (logical - cfg.bin_size)
+
+    # -- reverse mapping ---------------------------------------------------
+    def chunk_of(self, pool_base: int, addr: int) -> int:
+        """Chunk base address containing ``addr`` (pool_base must be
+        chunk-aligned, which the combined allocator guarantees)."""
+        return pool_base + ((addr - pool_base) & ~self._chunk_mask)
+
+    def locate(self, chunk_base: int, addr: int) -> tuple[int, int]:
+        """Map a block address to ``(bin_index, logical_offset)``.
+
+        ``logical_offset`` is the offset within the owning bin's logical
+        space (``bin_header_size .. bin_size + tail_size``); combined
+        with the bin's block size it yields the block index.
+        Raises ValueError for addresses inside headers or reserved areas.
+        """
+        cfg = self.cfg
+        off = addr - chunk_base
+        if off < 0 or off >= cfg.chunk_size:
+            raise ValueError(f"address {addr:#x} outside chunk {chunk_base:#x}")
+        bin_index = off // cfg.bin_size
+        local = off & self._bin_mask
+        if bin_index >= 2:
+            if local < cfg.bin_header_size:
+                raise ValueError(f"address {addr:#x} points into a bin header")
+            return bin_index, local
+        # Inside a special bin: a tail block.
+        if local < cfg.bin_header_size:
+            raise ValueError(f"address {addr:#x} points into a chunk header")
+        t = (local - cfg.bin_header_size) // cfg.tail_size
+        if bin_index == 1:
+            t += self.tails_per_special
+        owner = t + 2
+        if owner >= cfg.bins_per_chunk:
+            raise ValueError(f"address {addr:#x} in unused tail space")
+        offset_in_tail = (local - cfg.bin_header_size) % cfg.tail_size
+        return owner, cfg.bin_size + offset_in_tail
+
+    def block_index(self, logical_offset: int, size: int) -> int:
+        """Block index from a logical offset (inverse of block_addr)."""
+        k, rem = divmod(logical_offset - self.cfg.bin_header_size, size)
+        if rem:
+            raise ValueError(
+                f"logical offset {logical_offset} not a {size}-byte block base"
+            )
+        return k

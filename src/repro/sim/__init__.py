@@ -1,0 +1,55 @@
+"""Deterministic SIMT simulator substrate.
+
+This package stands in for the paper's CUDA/Titan V execution
+environment: device memory, serialized same-word atomics, thread blocks
+with barriers, warps with convergence, SM block residency, and a
+virtual-cycle cost model.  See DESIGN.md for the substitution rationale.
+
+Quick tour::
+
+    from repro.sim import DeviceMemory, Scheduler, ops
+
+    mem = DeviceMemory(64 * 1024)
+    counter = mem.host_alloc(8)
+
+    def kernel(ctx):
+        yield ops.atomic_add(counter, 1)
+
+    sched = Scheduler(mem, seed=1)
+    sched.launch(kernel, grid=4, block=64)
+    report = sched.run()
+    assert mem.load_word(counter) == 256
+"""
+
+from . import ops
+from .cost_model import DEFAULT_COST_MODEL, CostModel
+from .device import DEFAULT_DEVICE, GPUDevice, ThreadCtx
+from .errors import (
+    DeadlockError,
+    InvalidOp,
+    LaunchError,
+    MisalignedAccess,
+    OutOfBoundsAccess,
+    SimError,
+)
+from .memory import DeviceMemory
+from .scheduler import LaunchHandle, Scheduler, SimReport
+
+__all__ = [
+    "ops",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "GPUDevice",
+    "DEFAULT_DEVICE",
+    "ThreadCtx",
+    "DeviceMemory",
+    "Scheduler",
+    "SimReport",
+    "LaunchHandle",
+    "SimError",
+    "MisalignedAccess",
+    "OutOfBoundsAccess",
+    "InvalidOp",
+    "DeadlockError",
+    "LaunchError",
+]

@@ -1,0 +1,81 @@
+"""Cycle-cost model for the SIMT simulator.
+
+The simulator measures *virtual cycles*.  Each op a device thread yields
+advances that thread's clock by a cost taken from this model; atomics to
+the same 8-byte word additionally serialize on the word (see
+:class:`repro.sim.scheduler.Scheduler`).
+
+Absolute values are loosely modeled on an NVIDIA Volta-class part (the
+paper's Titan V): global memory latency in the hundreds of cycles, atomics
+that are fire-and-forget at the L2 with a same-address service interval of
+a handful of cycles, and a ~1.2 GHz clock used to convert cycles into
+seconds for throughput reporting.  The reproduction only relies on the
+*relative* shape of these costs, not their absolute accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs for each class of simulated operation.
+
+    Attributes
+    ----------
+    load_latency:
+        Cycles for a global-memory load.  Loads do not serialize on an
+        address; the memory system is modeled as having abundant read
+        bandwidth.
+    store_latency:
+        Cycles for a global-memory store (write-back, fire-and-forget).
+    atomic_latency:
+        Cycles from issuing an atomic until the issuing thread can use
+        its result.
+    atomic_service:
+        Minimum spacing, in cycles, between two atomics that target the
+        *same* 8-byte word.  This is the contention mechanism: a hot
+        semaphore or lock word becomes a serialization point at
+        ``1 / atomic_service`` ops per cycle.
+    step_cost:
+        Baseline cycles charged per resume of a device generator; stands
+        in for the ALU work between memory operations.
+    yield_cost:
+        Cycles charged for a polite scheduling yield (spin-loop backoff
+        quantum).
+    barrier_cost:
+        Cycles to release a block-wide barrier once the last thread
+        arrives.
+    warp_conv_cost:
+        Cycles to form a converged warp (activemask rendezvous).
+    block_dispatch:
+        Cycles between a block retiring from an SM and the next queued
+        block's threads starting.
+    clock_hz:
+        Virtual clock frequency used to convert cycles to seconds.
+    """
+
+    load_latency: int = 120
+    store_latency: int = 40
+    atomic_latency: int = 160
+    atomic_service: int = 4
+    step_cost: int = 4
+    yield_cost: int = 24
+    barrier_cost: int = 48
+    warp_conv_cost: int = 16
+    block_dispatch: int = 200
+    clock_hz: float = 1.2e9
+
+    def seconds(self, cycles: int) -> float:
+        """Convert a cycle count to virtual seconds."""
+        return cycles / self.clock_hz
+
+    def throughput(self, n_ops: int, cycles: int) -> float:
+        """Operations per virtual second over a run of ``cycles`` cycles."""
+        if cycles <= 0:
+            return 0.0
+        return n_ops / self.seconds(cycles)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,76 @@
+"""Device configuration and per-thread execution context.
+
+:class:`GPUDevice` captures the machine shape: number of SMs, warp size,
+and how many thread blocks may be resident on an SM at once.  Block
+residency is what lets the simulator reproduce the paper's Figure 6
+mechanism — a thread block occupies SM resources until *all* of its
+threads finish, so threads stuck waiting on an RCU barrier delay every
+queued block behind them.
+
+:class:`ThreadCtx` is the device-code view of "who am I": global thread
+id, block id, lane, warp, SM, plus a deterministic per-thread RNG used
+for scattered (hashed) data-structure traversals as in ScatterAlloc.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """Shape of the simulated throughput-oriented processor.
+
+    Defaults are a scaled-down Volta: real Titan V has 80 SMs x 2048
+    resident threads; simulating that many Python generators is feasible
+    but slow, so benchmarks default to a smaller part and scale thread
+    counts accordingly (see DESIGN.md, substitutions).
+    """
+
+    num_sms: int = 8
+    warp_size: int = 32
+    max_resident_blocks: int = 4
+    max_threads_per_block: int = 1024
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Upper bound on simultaneously executing threads."""
+        return self.num_sms * self.max_resident_blocks * self.max_threads_per_block
+
+
+#: A modest default device used throughout tests.
+DEFAULT_DEVICE = GPUDevice()
+
+
+@dataclass
+class ThreadCtx:
+    """Identity of one simulated GPU thread, passed to kernels.
+
+    Attributes
+    ----------
+    tid: global thread index across the whole launch (0-based).
+    block: block index within the grid.
+    tid_in_block: thread index within the block.
+    lane: index within the warp (0..warp_size-1).
+    warp: global warp index across the launch.
+    sm: SM the owning block is placed on.
+    nthreads: total threads in the launch.
+    block_dim: threads per block for this launch.
+    rng: deterministic per-thread RNG (seeded from the scheduler seed and
+        ``tid``); use for hashed traversal start points.
+    """
+
+    tid: int
+    block: int
+    tid_in_block: int
+    lane: int
+    warp: int
+    sm: int
+    nthreads: int
+    block_dim: int
+    rng: random.Random = field(repr=False, default_factory=random.Random)
+
+    def is_warp_leader_of(self, mask: frozenset) -> bool:
+        """True if this thread is the elected leader of converged ``mask``."""
+        return self.lane == min(mask)

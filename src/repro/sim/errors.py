@@ -1,0 +1,45 @@
+"""Exception hierarchy for the SIMT simulator.
+
+Every error raised by :mod:`repro.sim` derives from :class:`SimError` so
+callers can catch simulator faults separately from ordinary Python errors
+raised by device code under test.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class MisalignedAccess(SimError):
+    """A word-sized memory operation used an address that is not 8-byte
+    aligned."""
+
+    def __init__(self, addr: int) -> None:
+        super().__init__(f"misaligned 8-byte access at address {addr:#x}")
+        self.addr = addr
+
+
+class OutOfBoundsAccess(SimError):
+    """A memory operation touched an address outside device memory."""
+
+    def __init__(self, addr: int, size: int) -> None:
+        super().__init__(
+            f"out-of-bounds access at address {addr:#x} (memory size {size:#x})"
+        )
+        self.addr = addr
+        self.size = size
+
+
+class InvalidOp(SimError):
+    """A device thread yielded something that is not a simulator op."""
+
+
+class DeadlockError(SimError):
+    """The event queue drained while threads were still parked, or the
+    event budget was exhausted without progress."""
+
+
+class LaunchError(SimError):
+    """A kernel launch was malformed (bad grid/block dimensions, etc.)."""

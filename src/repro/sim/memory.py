@@ -1,0 +1,170 @@
+"""Flat simulated device memory.
+
+Device memory is a byte-addressed flat space backed by an ``array('Q')``
+of 64-bit words.  Device code accesses it through op tuples
+(:mod:`repro.sim.ops`) executed by the scheduler; the host may read and
+write it directly (analogous to ``cudaMemcpy`` while no kernel is
+running).
+
+A small *metadata* region can be carved from the top of memory with
+:meth:`DeviceMemory.host_alloc` during host-side setup — the analogue of
+``cudaMalloc``-ing control blocks for semaphores, tree nodes and list
+heads before launching kernels.  The remaining bottom region is what an
+allocator under test manages.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from .errors import MisalignedAccess, OutOfBoundsAccess
+
+_MASK64 = (1 << 64) - 1
+
+
+class DeviceMemory:
+    """A flat, byte-addressed simulated memory of ``size`` bytes.
+
+    ``size`` is rounded up to a multiple of 8.  Word accesses must be
+    8-byte aligned.  Addresses are plain ints starting at 0; address 0 is
+    valid storage, so code that wants a null sentinel should use
+    :data:`NULL` (all-ones), which this class never hands out.
+    """
+
+    #: Null pointer sentinel: never a valid address.
+    NULL = _MASK64
+
+    __slots__ = ("size", "words", "_meta_brk")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        size = (size + 7) & ~7
+        self.size = size
+        self.words = array("Q", bytes(size))
+        # Host metadata allocations grow downward from the top.
+        self._meta_brk = size
+
+    # ------------------------------------------------------------------
+    # Host-side setup
+    # ------------------------------------------------------------------
+    def host_alloc(self, nbytes: int, align: int = 8) -> int:
+        """Carve ``nbytes`` (aligned to ``align``) off the top of memory.
+
+        Used during host-side setup to place control structures.  Returns
+        the base address.  Raises :class:`OutOfBoundsAccess` when memory
+        is exhausted.
+        """
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        if align <= 0 or (align & (align - 1)):
+            raise ValueError("alignment must be a positive power of two")
+        base = (self._meta_brk - nbytes) & ~(align - 1)
+        if base < 0:
+            raise OutOfBoundsAccess(base, self.size)
+        self._meta_brk = base
+        return base
+
+    @property
+    def meta_base(self) -> int:
+        """Lowest address currently used by host metadata allocations."""
+        return self._meta_brk
+
+    # ------------------------------------------------------------------
+    # Word accessors (used by the scheduler and by host-side code)
+    # ------------------------------------------------------------------
+    def _windex(self, addr: int) -> int:
+        if addr & 7:
+            raise MisalignedAccess(addr)
+        if addr < 0 or addr + 8 > self.size:
+            raise OutOfBoundsAccess(addr, self.size)
+        return addr >> 3
+
+    def load_word(self, addr: int) -> int:
+        """Read the unsigned 64-bit word at ``addr``."""
+        return self.words[self._windex(addr)]
+
+    def store_word(self, addr: int, value: int) -> None:
+        """Write the unsigned 64-bit word at ``addr``."""
+        self.words[self._windex(addr)] = value & _MASK64
+
+    def cas_word(self, addr: int, expected: int, new: int) -> int:
+        """Compare-and-swap on the word at ``addr``; returns the old value."""
+        i = self._windex(addr)
+        old = self.words[i]
+        if old == (expected & _MASK64):
+            self.words[i] = new & _MASK64
+        return old
+
+    def add_word(self, addr: int, value: int) -> int:
+        """Wrapping atomic add; returns the old value."""
+        i = self._windex(addr)
+        old = self.words[i]
+        self.words[i] = (old + value) & _MASK64
+        return old
+
+    def exch_word(self, addr: int, value: int) -> int:
+        i = self._windex(addr)
+        old = self.words[i]
+        self.words[i] = value & _MASK64
+        return old
+
+    def and_word(self, addr: int, value: int) -> int:
+        i = self._windex(addr)
+        old = self.words[i]
+        self.words[i] = old & value & _MASK64
+        return old
+
+    def or_word(self, addr: int, value: int) -> int:
+        i = self._windex(addr)
+        old = self.words[i]
+        self.words[i] = (old | value) & _MASK64
+        return old
+
+    def xor_word(self, addr: int, value: int) -> int:
+        i = self._windex(addr)
+        old = self.words[i]
+        self.words[i] = (old ^ value) & _MASK64
+        return old
+
+    def max_word(self, addr: int, value: int) -> int:
+        i = self._windex(addr)
+        old = self.words[i]
+        value &= _MASK64
+        if value > old:
+            self.words[i] = value
+        return old
+
+    def min_word(self, addr: int, value: int) -> int:
+        i = self._windex(addr)
+        old = self.words[i]
+        value &= _MASK64
+        if value < old:
+            self.words[i] = value
+        return old
+
+    # ------------------------------------------------------------------
+    # Host-side byte-range helpers (cudaMemcpy analogue)
+    # ------------------------------------------------------------------
+    def read_bytes(self, addr: int, nbytes: int) -> bytes:
+        """Copy ``nbytes`` starting at ``addr`` out of device memory."""
+        if addr < 0 or addr + nbytes > self.size:
+            raise OutOfBoundsAccess(addr, self.size)
+        view = memoryview(self.words).cast("B")
+        return bytes(view[addr : addr + nbytes])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Copy ``data`` into device memory starting at ``addr``."""
+        if addr < 0 or addr + len(data) > self.size:
+            raise OutOfBoundsAccess(addr, self.size)
+        view = memoryview(self.words).cast("B")
+        view[addr : addr + len(data)] = data
+
+    def fill_words(self, addr: int, nwords: int, value: int) -> None:
+        """Host-side fill of ``nwords`` consecutive words with ``value``."""
+        i = self._windex(addr)
+        if addr + 8 * nwords > self.size:
+            raise OutOfBoundsAccess(addr + 8 * nwords - 8, self.size)
+        value &= _MASK64
+        for k in range(i, i + nwords):
+            self.words[k] = value

@@ -1,0 +1,629 @@
+"""Event-driven SIMT scheduler.
+
+Threads are Python generators; every op they yield is executed atomically
+at the thread's virtual time, and ops execute in global virtual-time
+order, so interleavings are realistic *and* reproducible given a seed.
+
+Three hardware behaviours the reproduction depends on are modeled here:
+
+1. **Same-word atomic serialization.**  Each 8-byte word has an
+   availability time; an atomic that finds its word busy is rescheduled
+   to the word's availability time.  A hot semaphore/lock word therefore
+   caps throughput at ``1 / atomic_service`` ops per cycle — the
+   contention wall the paper designs around.
+
+2. **Block residency.**  Each SM runs at most ``max_resident_blocks``
+   blocks; queued blocks start only when a resident block's threads have
+   *all* finished.  Threads blocked on barriers or spinning on RCU
+   barriers therefore hold SM resources and delay queued blocks — the
+   effect RCU delegation (paper §4.2.1, Fig. 6) exists to mitigate.
+
+3. **Warp convergence.**  ``ops.warp_converge()`` parks a lane until
+   either every live lane of its warp is parked/done, or a small
+   convergence window expires; the lanes parked on the op then resume
+   together with the converged mask — the simulator's ``__activemask()``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from types import GeneratorType as Generator
+from typing import Any, Callable, Dict, List, Optional
+
+from . import ops as _ops
+from .cost_model import DEFAULT_COST_MODEL, CostModel
+from .device import DEFAULT_DEVICE, GPUDevice, ThreadCtx
+from .errors import DeadlockError, InvalidOp, LaunchError
+from .memory import DeviceMemory
+
+# Thread states
+_ST_READY = 0
+_ST_BARRIER = 1
+_ST_CONV = 2
+_ST_DONE = 3
+
+_TIMER = -1  # sentinel tid for timer events
+
+#: Convergence window (cycles): lanes of a warp that request convergence
+#: within this window of the first requester converge together even if
+#: other lanes of the warp are still running.
+WARP_CONV_WINDOW = 96
+
+
+class _Thread:
+    __slots__ = (
+        "tid", "gen", "ctx", "state", "clock", "pending", "inbox",
+        "block", "warp", "retval", "park_time",
+    )
+
+    def __init__(self, tid: int, gen, ctx: ThreadCtx, block: "_Block", warp: "_Warp"):
+        self.tid = tid
+        self.gen = gen
+        self.ctx = ctx
+        self.state = _ST_READY
+        self.clock = 0
+        self.pending = None   # op to execute at next pop
+        self.inbox = None     # value to send at next resume when no pending op
+        self.block = block
+        self.warp = warp
+        self.retval = None
+        self.park_time = 0
+
+
+class _Block:
+    __slots__ = ("bid", "sm", "tids", "n_live", "barrier_waiters", "dispatched")
+
+    def __init__(self, bid: int, sm: int):
+        self.bid = bid
+        self.sm = sm
+        self.tids: List[int] = []
+        self.n_live = 0
+        self.barrier_waiters: List[int] = []
+        self.dispatched = False
+
+
+class _Warp:
+    __slots__ = ("lanes", "conv_waiters", "conv_keys", "conv_gen",
+                 "conv_timer_gen", "sync_waiters", "bcast_values")
+
+    def __init__(self):
+        self.lanes: List[int] = []
+        self.conv_waiters: List[int] = []
+        # tid -> match key for lanes that parked via ops.warp_match
+        self.conv_keys: Dict[int, object] = {}
+        # Generation counter: a convergence-window timer only fires for
+        # the convergence round it was armed for.
+        self.conv_gen = 0
+        self.conv_timer_gen = -1
+        # mask -> list of parked tids (for ops.warp_sync / warp_broadcast)
+        self.sync_waiters: Dict[frozenset, List[int]] = {}
+        # mask -> broadcast payloads contributed so far
+        self.bcast_values: Dict[frozenset, list] = {}
+
+
+def _instant_thread(retval):
+    """Wrap a non-generator kernel result as an instantly-finishing thread."""
+    return retval
+    yield  # pragma: no cover - makes this function a generator
+
+
+@dataclass
+class SimReport:
+    """Result of a completed simulation run."""
+
+    cycles: int
+    events: int
+    n_threads: int
+    op_counts: Dict[int, int] = field(default_factory=dict)
+    cost_model: CostModel = DEFAULT_COST_MODEL
+
+    @property
+    def seconds(self) -> float:
+        """Virtual wall time of the run."""
+        return self.cost_model.seconds(self.cycles)
+
+    def throughput(self, n_ops: int) -> float:
+        """Ops per virtual second, for ``n_ops`` completed during the run."""
+        return self.cost_model.throughput(n_ops, self.cycles)
+
+
+class LaunchHandle:
+    """Handle to one kernel launch; exposes per-thread return values."""
+
+    def __init__(self, scheduler: "Scheduler", tids: List[int]):
+        self._scheduler = scheduler
+        self._tids = tids
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._tids)
+
+    @property
+    def results(self) -> List[Any]:
+        """Per-thread kernel return values (valid after ``run()``)."""
+        return [self._scheduler._threads[t].retval for t in self._tids]
+
+
+class Scheduler:
+    """Deterministic discrete-event scheduler over a :class:`DeviceMemory`.
+
+    Typical use::
+
+        mem = DeviceMemory(1 << 20)
+        sched = Scheduler(mem, seed=42)
+        h = sched.launch(kernel, grid=4, block=128, args=(arg0, arg1))
+        report = sched.run()
+        print(report.cycles, h.results[:4])
+
+    Multiple launches may be queued before ``run()``; they share the
+    device and execute concurrently (as separate grids on one GPU).  For
+    dependent phases, call ``run()`` between launches — the scheduler can
+    be reused and virtual time keeps advancing monotonically.
+    """
+
+    def __init__(
+        self,
+        memory: DeviceMemory,
+        device: GPUDevice = DEFAULT_DEVICE,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        seed: int = 0,
+        track_contention: bool = False,
+    ) -> None:
+        self.memory = memory
+        self.device = device
+        self.cost_model = cost_model
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._threads: List[_Thread] = []
+        self._blocks: List[_Block] = []
+        self._warps: List[_Warp] = []
+        self._heap: list = []
+        self._seq = 0
+        self._word_avail: Dict[int, int] = {}
+        self._sm_queues: List[List[_Block]] = [[] for _ in range(device.num_sms)]
+        self._sm_resident: List[int] = [0] * device.num_sms
+        self._now = 0
+        self._events = 0
+        self._op_counts: Dict[int, int] = {}
+        self._live_threads = 0
+        self._next_block_sm = 0
+        # contention telemetry: word index -> atomic op count
+        self.track_contention = track_contention
+        self._word_ops: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Launch
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: Callable[..., Any],
+        grid: int,
+        block: int,
+        args: tuple = (),
+    ) -> LaunchHandle:
+        """Queue a 1-D kernel launch of ``grid`` blocks x ``block`` threads.
+
+        ``kernel(ctx, *args)`` is called once per thread; it may be a
+        generator function (the normal case) or a plain function (the
+        thread then completes instantly with the function's return
+        value).
+        """
+        if grid <= 0 or block <= 0:
+            raise LaunchError(f"bad launch configuration grid={grid} block={block}")
+        if block > self.device.max_threads_per_block:
+            raise LaunchError(
+                f"block of {block} threads exceeds device limit "
+                f"{self.device.max_threads_per_block}"
+            )
+        warp_size = self.device.warp_size
+        nthreads = grid * block
+        tids: List[int] = []
+        for b in range(grid):
+            sm = self._next_block_sm
+            self._next_block_sm = (self._next_block_sm + 1) % self.device.num_sms
+            blk = _Block(len(self._blocks), sm)
+            self._blocks.append(blk)
+            warp: Optional[_Warp] = None
+            for t in range(block):
+                tid = len(self._threads)
+                if t % warp_size == 0:
+                    warp = _Warp()
+                    self._warps.append(warp)
+                assert warp is not None
+                ctx = ThreadCtx(
+                    tid=tid,
+                    block=blk.bid,
+                    tid_in_block=t,
+                    lane=t % warp_size,
+                    warp=len(self._warps) - 1,
+                    sm=sm,
+                    nthreads=nthreads,
+                    block_dim=block,
+                    rng=random.Random((self.seed << 20) ^ (tid * 0x9E3779B9)),
+                )
+                gen = kernel(ctx, *args)
+                if not isinstance(gen, Generator):
+                    gen = _instant_thread(gen)
+                th = _Thread(tid, gen, ctx, blk, warp)
+                self._threads.append(th)
+                blk.tids.append(tid)
+                warp.lanes.append(tid)
+                tids.append(tid)
+            blk.n_live = block
+            self._sm_queues[sm].append(blk)
+            self._live_threads += block
+        self._dispatch_ready_blocks(self._now)
+        return LaunchHandle(self, tids)
+
+    def _dispatch_ready_blocks(self, t: int) -> None:
+        for sm in range(self.device.num_sms):
+            q = self._sm_queues[sm]
+            while q and self._sm_resident[sm] < self.device.max_resident_blocks:
+                blk = q.pop(0)
+                self._sm_resident[sm] += 1
+                self._dispatch_block(blk, t)
+
+    def _dispatch_block(self, blk: _Block, t: int) -> None:
+        blk.dispatched = True
+        warp_size = self.device.warp_size
+        start = t + (self.cost_model.block_dispatch if t else 0)
+        for tid in blk.tids:
+            th = self._threads[tid]
+            # Stagger warps slightly so launches do not start in perfect
+            # lockstep; deterministic given the seed.
+            jitter = (th.ctx.tid_in_block // warp_size) * 2 + self._rng.randrange(4)
+            th.clock = start + jitter
+            self._push(th.clock, tid)
+
+    # ------------------------------------------------------------------
+    # Heap helpers
+    # ------------------------------------------------------------------
+    def _push(self, t: int, tid: int) -> None:
+        self._seq += 1
+        heappush(self._heap, (t, self._seq, tid))
+
+    def _push_timer(self, t: int, fn: Callable[[int], None]) -> None:
+        self._seq += 1
+        heappush(self._heap, (t, self._seq, _TIMER, fn))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_events: Optional[int] = None) -> SimReport:
+        """Run until all launched threads finish; returns a report.
+
+        ``max_events`` bounds the number of scheduler events (a livelock
+        guard for tests); exceeding it raises :class:`DeadlockError`.
+        """
+        cm = self.cost_model
+        mem = self.memory
+        heap = self._heap
+        threads = self._threads
+        word_avail = self._word_avail
+        op_counts = self._op_counts
+        atomic_service = cm.atomic_service
+        atomic_latency = cm.atomic_latency
+        load_latency = cm.load_latency
+        store_latency = cm.store_latency
+        step_cost = cm.step_cost
+
+        OP_SLEEP = _ops.OP_SLEEP
+        OP_LOAD = _ops.OP_LOAD
+        OP_STORE = _ops.OP_STORE
+        OP_CAS = _ops.OP_CAS
+        OP_ADD = _ops.OP_ADD
+        OP_EXCH = _ops.OP_EXCH
+        OP_AND = _ops.OP_AND
+        OP_OR = _ops.OP_OR
+        OP_XOR = _ops.OP_XOR
+        OP_MAX = _ops.OP_MAX
+        OP_MIN = _ops.OP_MIN
+        OP_BARRIER = _ops.OP_BARRIER
+        OP_WARP_CONV = _ops.OP_WARP_CONV
+        OP_YIELD = _ops.OP_YIELD
+        OP_WARP_SYNC = _ops.OP_WARP_SYNC
+        OP_WARP_MATCH = _ops.OP_WARP_MATCH
+        OP_WARP_BCAST = _ops.OP_WARP_BCAST
+
+        events = self._events
+        while heap:
+            entry = heappop(heap)
+            t = entry[0]
+            tid = entry[2]
+            self._now = t
+            events += 1
+            if max_events is not None and events > max_events:
+                raise DeadlockError(
+                    f"exceeded event budget {max_events} "
+                    f"({self._live_threads} threads still live)"
+                )
+            if tid == _TIMER:
+                entry[3](t)
+                continue
+            th = threads[tid]
+            op = th.pending
+            resume_at = t
+            result: Any = None
+            if op is not None:
+                code = op[0]
+                op_counts[code] = op_counts.get(code, 0) + 1
+                if OP_CAS <= code <= OP_MIN:
+                    addr = op[1]
+                    if code == OP_CAS:
+                        result = mem.cas_word(addr, op[2], op[3])
+                    elif code == OP_ADD:
+                        result = mem.add_word(addr, op[2])
+                    elif code == OP_EXCH:
+                        result = mem.exch_word(addr, op[2])
+                    elif code == OP_AND:
+                        result = mem.and_word(addr, op[2])
+                    elif code == OP_OR:
+                        result = mem.or_word(addr, op[2])
+                    elif code == OP_XOR:
+                        result = mem.xor_word(addr, op[2])
+                    elif code == OP_MAX:
+                        result = mem.max_word(addr, op[2])
+                    else:
+                        result = mem.min_word(addr, op[2])
+                    resume_at = t + atomic_latency
+                elif code == OP_LOAD:
+                    result = mem.load_word(op[1])
+                    resume_at = t + load_latency
+                elif code == OP_STORE:
+                    mem.store_word(op[1], op[2])
+                    resume_at = t + store_latency
+                else:  # pragma: no cover - defensive
+                    raise InvalidOp(f"unexpected pending op {op!r}")
+                th.pending = None
+            else:
+                result = th.inbox
+                th.inbox = None
+
+            # Resume the generator and classify its next op.
+            while True:
+                th.clock = resume_at
+                try:
+                    nxt = th.gen.send(result)
+                except StopIteration as stop:
+                    th.retval = stop.value
+                    self._finish_thread(th, resume_at)
+                    break
+                except Exception as exc:
+                    exc.add_note(
+                        f"raised in device thread tid={th.tid} "
+                        f"block={th.ctx.block} lane={th.ctx.lane} "
+                        f"at cycle {resume_at}"
+                    )
+                    raise
+                if type(nxt) is not tuple or not nxt:
+                    raise InvalidOp(
+                        f"device thread {th.tid} yielded {nxt!r}; expected an "
+                        "op tuple from repro.sim.ops"
+                    )
+                code = nxt[0]
+                if code == OP_SLEEP:
+                    op_counts[code] = op_counts.get(code, 0) + 1
+                    self._push(resume_at + step_cost + nxt[1], tid)
+                    break
+                if code == OP_YIELD:
+                    op_counts[code] = op_counts.get(code, 0) + 1
+                    self._push(resume_at + cm.yield_cost, tid)
+                    break
+                if code == OP_BARRIER:
+                    op_counts[code] = op_counts.get(code, 0) + 1
+                    self._park_barrier(th, resume_at)
+                    break
+                if code == OP_WARP_CONV:
+                    op_counts[code] = op_counts.get(code, 0) + 1
+                    self._park_conv(th, resume_at)
+                    break
+                if code == OP_WARP_SYNC:
+                    op_counts[code] = op_counts.get(code, 0) + 1
+                    self._park_warp_sync(th, nxt[1], resume_at)
+                    break
+                if code == OP_WARP_MATCH:
+                    op_counts[code] = op_counts.get(code, 0) + 1
+                    th.warp.conv_keys[th.tid] = nxt[1]
+                    self._park_conv(th, resume_at)
+                    break
+                if code == OP_WARP_BCAST:
+                    op_counts[code] = op_counts.get(code, 0) + 1
+                    self._park_warp_sync(th, nxt[1], resume_at, payload=nxt[2])
+                    break
+                # Memory op: execute at its own heap event.  Atomics
+                # reserve the target word's next free service slot at
+                # issue time (FIFO memory-controller queue), so same-word
+                # contention serializes in O(1) events per op.
+                th.pending = nxt
+                exec_at = resume_at + step_cost
+                if OP_CAS <= code <= OP_MIN:
+                    waddr = nxt[1] >> 3
+                    avail = word_avail.get(waddr, 0)
+                    if avail > exec_at:
+                        exec_at = avail
+                    word_avail[waddr] = exec_at + atomic_service
+                    if self.track_contention:
+                        self._word_ops[waddr] = self._word_ops.get(waddr, 0) + 1
+                self._push(exec_at, tid)
+                break
+
+        self._events = events
+        if self._live_threads:
+            parked = sum(
+                1 for th in threads if th.state in (_ST_BARRIER, _ST_CONV)
+            )
+            raise DeadlockError(
+                f"event queue drained with {self._live_threads} live threads "
+                f"({parked} parked on barriers/convergence)"
+            )
+        return SimReport(
+            cycles=self._now,
+            events=events,
+            n_threads=len(threads),
+            op_counts=dict(op_counts),
+            cost_model=cm,
+        )
+
+    # ------------------------------------------------------------------
+    # Thread completion, barriers, convergence
+    # ------------------------------------------------------------------
+    def _finish_thread(self, th: _Thread, t: int) -> None:
+        th.state = _ST_DONE
+        self._live_threads -= 1
+        blk = th.block
+        blk.n_live -= 1
+        warp = th.warp
+        self._maybe_release_barrier(blk, t)
+        self._maybe_release_conv(warp, t)
+        if blk.n_live == 0:
+            self._retire_block(blk, t)
+
+    def _retire_block(self, blk: _Block, t: int) -> None:
+        self._sm_resident[blk.sm] -= 1
+        q = self._sm_queues[blk.sm]
+        if q and self._sm_resident[blk.sm] < self.device.max_resident_blocks:
+            nxt = q.pop(0)
+            self._sm_resident[blk.sm] += 1
+            self._dispatch_block(nxt, t + self.cost_model.block_dispatch)
+
+    def _park_barrier(self, th: _Thread, t: int) -> None:
+        th.state = _ST_BARRIER
+        th.park_time = t
+        blk = th.block
+        blk.barrier_waiters.append(th.tid)
+        self._maybe_release_barrier(blk, t)
+        self._maybe_release_conv(th.warp, t)
+
+    def _maybe_release_barrier(self, blk: _Block, t: int) -> None:
+        if not blk.barrier_waiters or len(blk.barrier_waiters) < blk.n_live:
+            return
+        release = (
+            max(self._threads[tid].park_time for tid in blk.barrier_waiters)
+            + self.cost_model.barrier_cost
+        )
+        for tid in blk.barrier_waiters:
+            w = self._threads[tid]
+            w.state = _ST_READY
+            w.inbox = None
+            self._push(release, tid)
+        blk.barrier_waiters.clear()
+
+    def _park_conv(self, th: _Thread, t: int) -> None:
+        th.state = _ST_CONV
+        th.park_time = t
+        warp = th.warp
+        warp.conv_waiters.append(th.tid)
+        if warp.conv_timer_gen != warp.conv_gen:
+            warp.conv_timer_gen = warp.conv_gen
+            gen = warp.conv_gen
+            self._push_timer(
+                t + WARP_CONV_WINDOW,
+                lambda now, w=warp, g=gen: self._conv_window_expired(w, g, now),
+            )
+        self._maybe_release_conv(warp, t)
+
+    def _conv_window_expired(self, warp: _Warp, gen: int, t: int) -> None:
+        if warp.conv_gen != gen:
+            return  # this convergence round already released
+        if warp.conv_waiters:
+            self._release_conv(warp, t)
+
+    def _park_warp_sync(self, th: _Thread, mask: frozenset, t: int,
+                        payload=None) -> None:
+        warp = th.warp
+        if th.ctx.lane not in mask:
+            raise InvalidOp(
+                f"thread {th.tid} (lane {th.ctx.lane}) called warp_sync with a "
+                f"mask {sorted(mask)} that does not include its own lane"
+            )
+        th.state = _ST_CONV
+        th.park_time = t
+        waiters = warp.sync_waiters.setdefault(mask, [])
+        waiters.append(th.tid)
+        if payload is not None:
+            warp.bcast_values.setdefault(mask, []).append(payload)
+        if len(waiters) == len(mask):
+            threads = self._threads
+            payloads = warp.bcast_values.pop(mask, None)
+            # warp_sync resumes with the mask; warp_broadcast resumes
+            # with the (single) source lane's payload
+            result = mask if payloads is None else payloads[0]
+            release = (
+                max(threads[tid].park_time for tid in waiters)
+                + self.cost_model.warp_conv_cost
+            )
+            for tid in waiters:
+                w = threads[tid]
+                w.state = _ST_READY
+                w.inbox = result
+                self._push(release, tid)
+            del warp.sync_waiters[mask]
+        else:
+            # A lane waiting on an explicit mask is parked; it may unblock
+            # a pending warp_converge of the remaining lanes.
+            self._maybe_release_conv(warp, t)
+
+    def _maybe_release_conv(self, warp: _Warp, t: int) -> None:
+        if not warp.conv_waiters:
+            return
+        threads = self._threads
+        for tid in warp.lanes:
+            lt = threads[tid]
+            if lt.state == _ST_READY:
+                return  # some lane still running; wait for it or the window
+        self._release_conv(warp, t)
+
+    def _release_conv(self, warp: _Warp, t: int) -> None:
+        threads = self._threads
+        mask = frozenset(threads[tid].ctx.lane for tid in warp.conv_waiters)
+        release = (
+            max(threads[tid].park_time for tid in warp.conv_waiters)
+            + self.cost_model.warp_conv_cost
+        )
+        release = max(release, t)
+        keys = warp.conv_keys
+        _MISSING = object()
+        for tid in warp.conv_waiters:
+            w = threads[tid]
+            w.state = _ST_READY
+            key = keys.get(tid, _MISSING)
+            if key is _MISSING:
+                # plain warp_converge: the full converged mask
+                w.inbox = mask
+            else:
+                # warp_match: only the converged lanes with an equal key
+                w.inbox = frozenset(
+                    threads[o].ctx.lane
+                    for o in warp.conv_waiters
+                    if keys.get(o, _MISSING) == key
+                )
+            self._push(release, tid)
+        warp.conv_waiters.clear()
+        warp.conv_keys.clear()
+        warp.conv_gen += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual time (cycles)."""
+        return self._now
+
+    @property
+    def live_threads(self) -> int:
+        return self._live_threads
+
+    def hot_words(self, n: int = 10) -> List[tuple]:
+        """Top-``n`` atomic targets as ``(byte_address, op_count)``.
+
+        Requires ``track_contention=True``; the ranking identifies the
+        serialization points of whatever ran (semaphore words, lock
+        words, popular bin counters...).
+        """
+        if not self.track_contention:
+            raise ValueError("construct the Scheduler with track_contention=True")
+        top = sorted(self._word_ops.items(), key=lambda kv: -kv[1])[:n]
+        return [(waddr << 3, count) for waddr, count in top]

@@ -1,0 +1,103 @@
+"""Collective synchronization primitives — paper §4.2.2.
+
+A *collective* primitive lets a group of cooperating threads acquire a
+synchronization object together: one elected thread performs the actual
+acquire, a group barrier ensures nobody enters the critical section
+before the acquire lands, the group cooperates inside the critical
+section (e.g. taking k list elements with one traversal), and the
+release happens only after every member has left.
+
+Two group flavours are provided:
+
+* **warp-collective** — the group is the set of warp lanes that reach
+  the collective call together (discovered with the simulator's
+  ``warp_converge``, the ``__activemask()`` analogue).  This is what
+  UAlloc uses for chunk allocation: whichever lanes of a warp need a
+  chunk at the same time grab the chunk-list mutex once.
+* **block-collective** — the group is the whole thread block,
+  synchronized with ``syncthreads``; usable when every thread of the
+  block participates (the paper's presentation).
+"""
+
+from __future__ import annotations
+
+from ..sim import ops
+from ..sim.device import ThreadCtx
+from ..sim.memory import DeviceMemory
+from .spinlock import SpinLock
+
+
+class CollectiveMutex:
+    """A mutex with collective acquire/release operations.
+
+    Warp-collective use (any subset of a warp may participate)::
+
+        mask = yield from cmutex.lock_warp(ctx)
+        rank = sorted(mask).index(ctx.lane)      # my index in the group
+        ...cooperate: thread `rank` handles the rank-th element...
+        yield from cmutex.unlock_warp(ctx, mask)
+
+    Block-collective use (every live thread of the block participates)::
+
+        yield from cmutex.lock_block(ctx)
+        ...
+        yield from cmutex.unlock_block(ctx)
+    """
+
+    __slots__ = ("_mutex",)
+
+    def __init__(self, mem: DeviceMemory):
+        self._mutex = SpinLock(mem)
+
+    # -- warp-collective -------------------------------------------------
+    def lock_warp(self, ctx: ThreadCtx):
+        """Collectively acquire with the lanes that converge here.
+
+        Returns the converged mask (a frozenset of lane indices); pass it
+        to :meth:`unlock_warp`.  The elected leader (lowest lane) takes
+        the underlying mutex; the trailing ``warp_sync`` guarantees no
+        member proceeds before the mutex is held.
+        """
+        mask = yield ops.warp_converge()
+        if ctx.lane == min(mask):
+            yield from self._mutex.lock(ctx)
+        mask = yield ops.warp_sync(mask)
+        return mask
+
+    def unlock_warp(self, ctx: ThreadCtx, mask: frozenset):
+        """Collectively release; the mutex drops only after every member
+        of ``mask`` has arrived."""
+        yield ops.warp_sync(mask)
+        if ctx.lane == min(mask):
+            yield from self._mutex.unlock(ctx)
+
+    # -- block-collective ------------------------------------------------
+    def lock_block(self, ctx: ThreadCtx):
+        """Collectively acquire with the entire thread block."""
+        if ctx.tid_in_block == 0:
+            yield from self._mutex.lock(ctx)
+        yield ops.syncthreads()
+
+    def unlock_block(self, ctx: ThreadCtx):
+        """Collectively release with the entire thread block."""
+        yield ops.syncthreads()
+        if ctx.tid_in_block == 0:
+            yield from self._mutex.unlock(ctx)
+
+    # -- degenerate (per-thread) ------------------------------------------
+    def lock(self, ctx: ThreadCtx):
+        """Plain single-thread acquire (for baselines/ablation)."""
+        yield from self._mutex.lock(ctx)
+
+    def unlock(self, ctx: ThreadCtx):
+        """Plain single-thread release."""
+        yield from self._mutex.unlock(ctx)
+
+    # -- host side ---------------------------------------------------------
+    def is_locked(self) -> bool:
+        return self._mutex.is_locked()
+
+
+def group_rank(ctx: ThreadCtx, mask: frozenset) -> int:
+    """This thread's 0-based index within a converged group mask."""
+    return sorted(mask).index(ctx.lane)

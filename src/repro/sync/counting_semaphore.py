@@ -1,0 +1,108 @@
+"""Counting semaphore with the paper's grow/shrink extension (§3.2).
+
+The semaphore value ``S`` is a signed 64-bit word.  On top of Dijkstra's
+``wait``/``signal``, the paper extends ``wait(N)`` for resource pools
+that can grow:
+
+* if ``S >= N``: ``S -= N``, return ``N`` (the caller got all units);
+* if ``N > S >= 0``: ``S <- -1``, return ``S`` (the caller got the last
+  ``S`` units and is now *the* batch allocator — everyone else blocks);
+* if ``S < 0``: block (someone is already allocating a batch).
+
+The batch allocator later calls ``signal(B)``; the ``-1`` flag absorbs
+one unit, so after ``signal(B)`` the value is ``B - 1`` — exactly the
+new batch minus the unit the allocator consumed itself (paper Fig. 1a).
+
+This primitive is the Figure 5 baseline: only one batch refill can be in
+flight, so at high thread counts everybody piles up behind a single
+refiller — the scalability barrier bulk semaphores remove.
+"""
+
+from __future__ import annotations
+
+from ..sim import ops
+from ..sim.device import ThreadCtx
+from ..sim.memory import DeviceMemory
+from ..sim.ops import to_signed, to_unsigned
+
+
+class CountingSemaphore:
+    """A growable counting semaphore at a device address."""
+
+    __slots__ = ("mem", "addr", "max_backoff")
+
+    #: value stored while a batch allocation is in flight
+    GROWING = -1
+
+    def __init__(self, mem: DeviceMemory, initial: int = 0, addr: int | None = None,
+                 max_backoff: int = 65536):
+        if initial < 0:
+            raise ValueError("initial semaphore value must be non-negative")
+        self.mem = mem
+        self.addr = mem.host_alloc(8) if addr is None else addr
+        mem.store_word(self.addr, to_unsigned(initial))
+        self.max_backoff = max_backoff
+
+    # -- device side ---------------------------------------------------
+    def wait(self, ctx: ThreadCtx, n: int = 1):
+        """Acquire up to ``n`` units (grow-variant semantics).
+
+        Returns ``n`` when all units were acquired, or ``r < n`` when
+        only ``r`` remained — the caller is then responsible for growing
+        the pool by allocating a new batch and calling :meth:`signal`.
+        """
+        backoff = 32
+        cas_backoff = 8
+        while True:
+            s = to_signed((yield ops.load(self.addr)))
+            if s < 0:
+                # a batch allocation is in flight; everyone blocks — this
+                # stop-the-world window is the primitive's scalability
+                # barrier (§3.3).
+                yield ops.sleep(ctx.rng.randrange(backoff))
+                if backoff < self.max_backoff:
+                    backoff <<= 1
+                continue
+            if s >= n:
+                # fetch-and-sub fast path (always succeeds; undo on
+                # overdraw) — a pure CAS loop here livelocks under
+                # massive contention, see bulk_semaphore.py.
+                old = to_signed((yield ops.atomic_sub(self.addr, n)))
+                if old >= n:
+                    return n
+                yield ops.atomic_add(self.addr, n)
+                continue
+            # 0 <= s < n: try to become the batch allocator (rare: only
+            # at batch boundaries, so CAS contention stays bounded)
+            old = yield ops.atomic_cas(
+                self.addr, to_unsigned(s), to_unsigned(self.GROWING)
+            )
+            if to_signed(old) == s:
+                return s
+            yield ops.sleep(ctx.rng.randrange(cas_backoff))
+            if cas_backoff < self.max_backoff:
+                cas_backoff <<= 1
+
+    def try_wait(self, ctx: ThreadCtx, n: int = 1):
+        """Acquire ``n`` units only if immediately available.
+
+        Returns True on success.  Never blocks and never takes the
+        batch-allocator role.
+        """
+        while True:
+            s = to_signed((yield ops.load(self.addr)))
+            if s < n:
+                return False
+            old = yield ops.atomic_cas(self.addr, to_unsigned(s), to_unsigned(s - n))
+            if to_signed(old) == s:
+                return True
+
+    def signal(self, ctx: ThreadCtx, n: int = 1):
+        """Release ``n`` units (also used to publish a new batch)."""
+        yield ops.atomic_add(self.addr, n)
+
+    # -- host side -----------------------------------------------------
+    @property
+    def value(self) -> int:
+        """Host-side read of the semaphore value."""
+        return to_signed(self.mem.load_word(self.addr))

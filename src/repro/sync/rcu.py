@@ -1,0 +1,154 @@
+"""Sleepable RCU with delegated (conditional) barriers — paper §4.2.1.
+
+The paper adapts SRCU [McKenney 2006] to GPUs: a global epoch counter
+plus one reader counter per epoch parity.  Readers increment/decrement
+the counter of the epoch they entered in; a barrier (grace-period wait)
+flips the epoch under a writer-side mutex and spins until the previous
+epoch's reader count drains to zero.
+
+The contribution is the **conditional barrier**: if another barrier is
+already *waiting to flip the epoch* (it holds or is queued on the RCU
+mutex but has not yet incremented the epoch), the conditional barrier
+returns immediately, delegating its queued callbacks to that waiter.
+The delegation is safe because the waiter's grace period starts at its
+(future) flip, which happens after our callbacks were enqueued — so the
+waiter's grace period covers every reader that could still see our
+logically-removed elements.  Delegation hastens the release of SM
+resources: a writer block that would otherwise spin on the barrier
+retires instead, letting queued blocks launch (Figure 6's speedup
+mechanism).
+
+Callbacks are device generator functions ``cb(ctx)``; the thread whose
+barrier completes the grace period executes all callbacks enqueued
+before its flip (deferred reclamation is *delegated to a thread already
+blocked*, per the paper's third design principle).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..sim import ops
+from ..sim.device import ThreadCtx
+from ..sim.memory import DeviceMemory
+from .spinlock import SpinLock
+
+
+class RCU:
+    """SRCU-style RCU domain in device memory.
+
+    Words: ``epoch``, ``cnt[0]``, ``cnt[1]``, ``pre_flip_waiters``; plus a
+    writer-side :class:`SpinLock` serializing epoch flips.  The callback
+    queue is an ordered host-side list — the simulator executes device
+    code in strict virtual-time order, so appends/snapshots are
+    naturally atomic and deterministic (see DESIGN.md §5).
+    """
+
+    __slots__ = ("mem", "epoch_addr", "cnt_addr", "waiters_addr", "_mutex",
+                 "_callbacks", "callbacks_run", "barriers_full", "barriers_delegated")
+
+    def __init__(self, mem: DeviceMemory):
+        self.mem = mem
+        self.epoch_addr = mem.host_alloc(8)
+        self.cnt_addr = mem.host_alloc(16)  # cnt[0], cnt[1]
+        self.waiters_addr = mem.host_alloc(8)
+        mem.store_word(self.epoch_addr, 0)
+        mem.store_word(self.cnt_addr, 0)
+        mem.store_word(self.cnt_addr + 8, 0)
+        mem.store_word(self.waiters_addr, 0)
+        self._mutex = SpinLock(mem)
+        self._callbacks: List[Tuple[Callable, tuple]] = []
+        # host-visible statistics
+        self.callbacks_run = 0
+        self.barriers_full = 0
+        self.barriers_delegated = 0
+
+    # -- read side -------------------------------------------------------
+    def read_lock(self, ctx: ThreadCtx):
+        """Enter a read-side critical section; returns an epoch token that
+        must be passed to :meth:`read_unlock`."""
+        e = yield ops.load(self.epoch_addr)
+        idx = e & 1
+        yield ops.atomic_add(self.cnt_addr + 8 * idx, 1)
+        return idx
+
+    def read_unlock(self, ctx: ThreadCtx, idx: int):
+        """Leave the read-side critical section entered with token ``idx``."""
+        yield ops.atomic_sub(self.cnt_addr + 8 * idx, 1)
+
+    # -- write side ------------------------------------------------------
+    def call(self, ctx: ThreadCtx, callback: Callable, *args):
+        """Enqueue ``callback(ctx, *args)`` (a device generator function)
+        to run after a grace period.  Typically called while holding the
+        data structure's writer lock, right after logically unlinking an
+        element."""
+        self._callbacks.append((callback, args))
+        # enqueueing costs one store's worth of time
+        yield ops.sleep(1)
+
+    def synchronize(self, ctx: ThreadCtx):
+        """Classical full barrier: flip the epoch, wait for the previous
+        epoch's readers to drain, run all callbacks enqueued before the
+        flip."""
+        yield from self._full_barrier(ctx)
+
+    def synchronize_conditional(self, ctx: ThreadCtx):
+        """Conditional (delegating) barrier — the paper's extension.
+
+        Returns immediately if another barrier has not yet flipped the
+        epoch (our callbacks are covered by its grace period); otherwise
+        behaves as :meth:`synchronize`."""
+        waiting = yield ops.load(self.waiters_addr)
+        if waiting > 0:
+            self.barriers_delegated += 1
+            return False
+        yield from self._full_barrier(ctx)
+        return True
+
+    def _full_barrier(self, ctx: ThreadCtx):
+        self.barriers_full += 1
+        yield ops.atomic_add(self.waiters_addr, 1)
+        yield from self._mutex.lock(ctx)
+        # Flip the epoch.  From this point on, our grace period no longer
+        # covers new callbacks, so leave the pre-flip waiter set first
+        # and snapshot the callback queue.
+        n_cbs = len(self._callbacks)
+        e = yield ops.atomic_add(self.epoch_addr, 1)
+        yield ops.atomic_sub(self.waiters_addr, 1)
+        old_idx = e & 1
+        backoff = 32
+        while True:
+            readers = yield ops.load(self.cnt_addr + 8 * old_idx)
+            if readers == 0:
+                break
+            yield ops.sleep(ctx.rng.randrange(backoff))
+            if backoff < 2048:
+                backoff <<= 1
+        # Run every callback enqueued before our flip (including ones
+        # delegated by conditional barriers).
+        to_run = self._callbacks[:n_cbs]
+        del self._callbacks[:n_cbs]
+        for cb, args in to_run:
+            self.callbacks_run += 1
+            yield from cb(ctx, *args)
+        yield from self._mutex.unlock(ctx)
+
+    # -- host side -------------------------------------------------------
+    @property
+    def pending_callbacks(self) -> int:
+        """Number of callbacks still awaiting a grace period."""
+        return len(self._callbacks)
+
+    def drain_host(self) -> int:
+        """Host-side callback drain (valid only when no kernel is running
+        and hence no reader can exist).  Returns the number executed."""
+        from ..sim.hostrun import drive, host_ctx
+
+        ctx = host_ctx()
+        n = 0
+        while self._callbacks:
+            cb, args = self._callbacks.pop(0)
+            drive(self.mem, cb(ctx, *args))
+            n += 1
+            self.callbacks_run += 1
+        return n

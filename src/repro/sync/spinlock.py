@@ -1,0 +1,68 @@
+"""Spin mutex in simulated device memory.
+
+A single 64-bit word: 0 = free, 1 = held.  Lock is a CAS loop with
+randomized exponential backoff (the device analogue of
+``__nanosleep``-based backoff); unlock is an atomic exchange.
+
+This is the baseline synchronization primitive the paper's techniques
+are designed to out-scale: every lock/unlock round-trips the lock word,
+so a contended SpinLock serializes at the word's atomic service rate.
+"""
+
+from __future__ import annotations
+
+from ..sim import ops
+from ..sim.device import ThreadCtx
+from ..sim.memory import DeviceMemory
+
+_FREE = 0
+_HELD = 1
+
+
+class SpinLock:
+    """A test-and-test-and-set spin mutex living at a device address.
+
+    Device-side use::
+
+        yield from lock.lock(ctx)
+        ...critical section...
+        yield from lock.unlock(ctx)
+    """
+
+    __slots__ = ("mem", "addr", "max_backoff")
+
+    def __init__(self, mem: DeviceMemory, addr: int | None = None, max_backoff: int = 65536):
+        self.mem = mem
+        self.addr = mem.host_alloc(8) if addr is None else addr
+        mem.store_word(self.addr, _FREE)
+        self.max_backoff = max_backoff
+
+    # -- device side ---------------------------------------------------
+    def try_lock(self, ctx: ThreadCtx):
+        """Single attempt; returns True if the lock was taken."""
+        old = yield ops.atomic_cas(self.addr, _FREE, _HELD)
+        return old == _FREE
+
+    def lock(self, ctx: ThreadCtx):
+        """Acquire, spinning with randomized exponential backoff."""
+        backoff = 32
+        while True:
+            # test-and-test-and-set: read before attempting the CAS so a
+            # held lock costs loads, not atomic slots.
+            val = yield ops.load(self.addr)
+            if val == _FREE:
+                old = yield ops.atomic_cas(self.addr, _FREE, _HELD)
+                if old == _FREE:
+                    return
+            yield ops.sleep(ctx.rng.randrange(backoff))
+            if backoff < self.max_backoff:
+                backoff <<= 1
+
+    def unlock(self, ctx: ThreadCtx):
+        """Release.  The caller must hold the lock."""
+        yield ops.atomic_exch(self.addr, _FREE)
+
+    # -- host side -----------------------------------------------------
+    def is_locked(self) -> bool:
+        """Host-side inspection (valid only while no kernel is running)."""
+        return self.mem.load_word(self.addr) == _HELD

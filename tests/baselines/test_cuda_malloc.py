@@ -1,0 +1,118 @@
+"""CUDA-like baseline: first-fit correctness, coalescing, exhaustion."""
+
+import pytest
+
+from repro.baselines import BaselineHeapError, CudaLikeAllocator
+from repro.sim import DeviceMemory, Scheduler, ops
+from repro.sim.hostrun import drive, host_ctx
+
+NULL = DeviceMemory.NULL
+
+
+def make(heap=1 << 20):
+    mem = DeviceMemory(heap * 2)
+    base = mem.host_alloc(heap, align=16)
+    return mem, CudaLikeAllocator(mem, base, heap)
+
+
+class TestSequential:
+    def test_initial_heap_is_one_free_block(self):
+        mem, a = make()
+        blocks = a.host_walk()
+        assert len(blocks) == 1 and not blocks[0][2]
+        assert a.host_free_bytes() == a.size
+
+    def test_malloc_free_roundtrip(self):
+        mem, a = make()
+        p = drive(mem, a.malloc(host_ctx(), 100))
+        assert p != NULL
+        drive(mem, a.free(host_ctx(), p))
+        assert len(a.host_walk()) == 1  # fully coalesced
+
+    def test_distinct_allocations(self):
+        mem, a = make()
+        ps = [drive(mem, a.malloc(host_ctx(), 64)) for _ in range(50)]
+        assert NULL not in ps and len(set(ps)) == 50
+        spans = sorted(ps)
+        for p1, p2 in zip(spans, spans[1:]):
+            assert p2 - p1 >= 64
+
+    def test_coalescing_both_directions(self):
+        mem, a = make()
+        ps = [drive(mem, a.malloc(host_ctx(), 200)) for _ in range(3)]
+        # free middle, then left, then right: must merge back to one block
+        drive(mem, a.free(host_ctx(), ps[1]))
+        drive(mem, a.free(host_ctx(), ps[0]))
+        drive(mem, a.free(host_ctx(), ps[2]))
+        assert len(a.host_walk()) == 1
+
+    def test_exhaustion_and_recovery(self):
+        mem, a = make(heap=4096)
+        ps = []
+        while True:
+            p = drive(mem, a.malloc(host_ctx(), 256))
+            if p == NULL:
+                break
+            ps.append(p)
+        assert ps
+        drive(mem, a.free(host_ctx(), ps[0]))
+        assert drive(mem, a.malloc(host_ctx(), 256)) == ps[0]
+
+    def test_double_free_detected(self):
+        mem, a = make()
+        p = drive(mem, a.malloc(host_ctx(), 64))
+        drive(mem, a.free(host_ctx(), p))
+        with pytest.raises(BaselineHeapError):
+            drive(mem, a.free(host_ctx(), p))
+
+    def test_zero_size_returns_null(self):
+        mem, a = make()
+        assert drive(mem, a.malloc(host_ctx(), 0)) == NULL
+
+    def test_rejects_bad_construction(self):
+        mem = DeviceMemory(1 << 16)
+        with pytest.raises(ValueError):
+            CudaLikeAllocator(mem, 8, 1024)
+        with pytest.raises(ValueError):
+            CudaLikeAllocator(mem, 0, 17)
+
+
+class TestConcurrent:
+    def test_churn_no_corruption(self):
+        mem, a = make()
+        fails = []
+
+        def kernel(ctx):
+            for _ in range(2):
+                p = yield from a.malloc(ctx, 64 + 16 * (ctx.tid % 8))
+                if p == NULL:
+                    fails.append(ctx.tid)
+                    continue
+                yield ops.sleep(ctx.rng.randrange(300))
+                yield from a.free(ctx, p)
+
+        s = Scheduler(mem, seed=21)
+        s.launch(kernel, 2, 64)
+        s.run(max_events=40_000_000)
+        assert fails == []
+        a.host_walk()  # validates headers/footers
+        assert a.host_free_bytes() == a.size
+
+    def test_serialization_throughput_profile(self):
+        """The baseline's defining property: throughput does not scale
+        with thread count (global lock)."""
+        def rate(n):
+            mem, a = make()
+
+            def kernel(ctx):
+                p = yield from a.malloc(ctx, 64)
+                assert p != NULL
+
+            s = Scheduler(mem, seed=1)
+            s.launch(kernel, -(-n // 64), 64)
+            rep = s.run(max_events=40_000_000)
+            return n / rep.cycles
+
+        r64, r512 = rate(64), rate(512)
+        # 8x the threads must not yield anywhere near 8x the rate
+        assert r512 < 3 * r64

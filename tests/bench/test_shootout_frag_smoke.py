@@ -1,0 +1,44 @@
+"""Smoke tests for the extended benches (shootout, fragmentation)."""
+
+import pytest
+
+from repro.bench import fragmentation, shootout
+
+
+class TestShootout:
+    def test_subset_runs(self):
+        res = shootout.run(size=64, nthreads=256, iters=1,
+                           which=["ours (scalar)", "bump pointer"])
+        names = {p.name for p in res.points}
+        assert names == {"ours (scalar)", "bump pointer"}
+        for p in res.points:
+            assert p.throughput > 0
+        assert res.table()
+
+    def test_ours_beats_cuda_at_scale(self):
+        res = shootout.run(size=64, nthreads=512, iters=1,
+                           which=["ours (scalar)", "CUDA-like"])
+        by = {p.name: p for p in res.points}
+        assert by["ours (scalar)"].throughput > by["CUDA-like"].throughput
+
+    def test_no_failures_on_small_workload(self):
+        res = shootout.run(size=64, nthreads=256, iters=1)
+        for p in res.points:
+            assert p.failures == 0, p.name
+
+
+class TestFragmentation:
+    def test_two_rounds(self):
+        res = fragmentation.run(rounds=2, nthreads=256)
+        assert len(res.ours) == 2 and len(res.bump) == 2
+        assert res.table()
+        # live bytes grow (1/8 kept each round)
+        assert res.ours[1].live > res.ours[0].live
+        # bump reserved strictly grows; ours is chunk-bounded
+        assert res.bump[1].reserved > res.bump[0].reserved
+
+    def test_overhead_metric(self):
+        p = fragmentation.FragPoint(round=0, live=100, reserved=250)
+        assert p.overhead == 2.5
+        empty = fragmentation.FragPoint(round=0, live=0, reserved=10)
+        assert empty.overhead == float("inf")

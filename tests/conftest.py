@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import DeviceMemory, GPUDevice, Scheduler
+
+#: event budget for small kernels — generous, but catches livelock
+EVENT_BUDGET = 30_000_000
+
+
+@pytest.fixture
+def device() -> GPUDevice:
+    """A small device: 4 SMs keeps tests fast while exercising arenas."""
+    return GPUDevice(num_sms=4)
+
+
+@pytest.fixture
+def mem() -> DeviceMemory:
+    """16 MiB of device memory."""
+    return DeviceMemory(16 << 20)
+
+
+@pytest.fixture
+def run_kernel(mem, device):
+    """Launch-and-run helper: ``run_kernel(kernel, grid, block, *args)``.
+
+    Returns the :class:`SimReport`; per-thread results are whatever the
+    kernel wrote into its args.
+    """
+
+    def _run(kernel, grid=1, block=32, args=(), seed=0, max_events=EVENT_BUDGET):
+        sched = Scheduler(mem, device, seed=seed)
+        handle = sched.launch(kernel, grid, block, args=tuple(args))
+        report = sched.run(max_events=max_events)
+        return report, handle
+
+    return _run

@@ -1,0 +1,117 @@
+"""Property-based and determinism tests for the combined allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AllocatorConfig, ThroughputAllocator
+from repro.sim import DeviceMemory, GPUDevice, Scheduler, ops
+from repro.sim.hostrun import drive, host_ctx
+
+NULL = DeviceMemory.NULL
+
+
+def make(pool_order=8, num_sms=2):
+    device = GPUDevice(num_sms=num_sms)
+    mem = DeviceMemory((4096 << pool_order) * 2 + (8 << 20))
+    alloc = ThroughputAllocator(mem, device, AllocatorConfig(pool_order=pool_order))
+    return mem, device, alloc
+
+
+@st.composite
+def malloc_free_script(draw):
+    n = draw(st.integers(1, 30))
+    sizes = st.sampled_from([1, 8, 17, 64, 100, 256, 900, 2048, 4096, 9000])
+    script = []
+    live = 0
+    for _ in range(n):
+        if live and draw(st.booleans()):
+            script.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            script.append(("malloc", draw(sizes)))
+            live += 1
+    return script
+
+
+class TestSequentialProperties:
+    @given(script=malloc_free_script())
+    @settings(max_examples=40, deadline=None)
+    def test_any_script_preserves_heap_integrity(self, script):
+        mem, device, alloc = make()
+        live = []  # (addr, requested_size)
+        for op, arg in script:
+            if op == "malloc":
+                a = drive(mem, alloc.malloc(host_ctx(), arg))
+                if a != NULL:
+                    live.append((a, arg))
+            elif live:
+                a, _ = live.pop(arg % len(live))
+                drive(mem, alloc.free(host_ctx(), a))
+        # live blocks pairwise disjoint for their *requested* sizes
+        spans = sorted(live)
+        for (a1, s1), (a2, _) in zip(spans, spans[1:]):
+            assert a1 + s1 <= a2, "overlapping live allocations"
+        # free everything -> full reclamation
+        for a, _ in live:
+            drive(mem, alloc.free(host_ctx(), a))
+        alloc.ualloc.host_gc()
+        alloc.host_check()
+        assert alloc.tbuddy.host_free_bytes() == alloc.cfg.pool_size
+
+    @given(size=st.integers(1, 16384))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_any_size(self, size):
+        mem, device, alloc = make()
+        a = drive(mem, alloc.malloc(host_ctx(), size))
+        assert a != NULL
+        # the paper's routing property
+        page_aligned = (a - alloc.pool_base) % alloc.cfg.page_size == 0
+        assert page_aligned == (size > alloc.cfg.max_ualloc_size)
+        drive(mem, alloc.free(host_ctx(), a))
+        alloc.ualloc.host_gc()
+        assert alloc.tbuddy.host_free_bytes() == alloc.cfg.pool_size
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        mem, device, alloc = make(pool_order=8)
+        got = []
+
+        def kernel(ctx):
+            p = yield from alloc.malloc(ctx, 8 << (ctx.tid % 5))
+            got.append(p)
+            if p != NULL and ctx.tid % 2:
+                yield from alloc.free(ctx, p)
+
+        s = Scheduler(mem, device, seed=seed)
+        s.launch(kernel, 2, 64)
+        rep = s.run(max_events=20_000_000)
+        return got, rep.cycles
+
+    def test_same_seed_identical_addresses_and_timing(self):
+        assert self._trace(11) == self._trace(11)
+
+    def test_different_seeds_differ(self):
+        assert self._trace(11) != self._trace(12)
+
+
+class TestConcurrentStress:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_multi_seed_churn_no_leak(self, seed):
+        mem, device, alloc = make(pool_order=9, num_sms=4)
+
+        def kernel(ctx):
+            for i in range(2):
+                size = [8, 100, 2048, 4096, 40000][(ctx.tid + i) % 5]
+                p = yield from alloc.malloc(ctx, size)
+                if p != NULL:
+                    yield ops.sleep(ctx.rng.randrange(300))
+                    yield from alloc.free(ctx, p)
+
+        s = Scheduler(mem, device, seed=seed)
+        s.launch(kernel, 4, 64)
+        s.run(max_events=40_000_000)
+        alloc.ualloc.host_gc()
+        alloc.host_check()
+        assert alloc.tbuddy.host_free_bytes() == alloc.cfg.pool_size

@@ -1,0 +1,59 @@
+"""Arena construction and size-class wiring."""
+
+import pytest
+
+from repro.core import AllocatorConfig
+from repro.core.arena import Arena, SizeClass
+from repro.sim import DeviceMemory
+from repro.sync.rcu import RCU
+
+CFG = AllocatorConfig()
+
+
+def test_arena_has_one_class_per_size(mem):
+    arena = Arena(mem, CFG, index=3)
+    assert arena.index == 3
+    assert len(arena.classes) == len(CFG.size_classes)
+    for sc, size in zip(arena.classes, CFG.size_classes):
+        assert sc.size == size
+        assert sc.capacity == CFG.bin_capacity(size)
+
+
+def test_size_class_lookup(mem):
+    arena = Arena(mem, CFG, index=0)
+    for size in CFG.size_classes:
+        assert arena.size_class(size).size == size
+
+
+def test_semaphores_start_empty(mem):
+    arena = Arena(mem, CFG, index=0)
+    for sc in arena.classes:
+        assert sc.sem.counters == (0, 0, 0)
+    assert arena.bin_sem.counters == (0, 0, 0)
+
+
+def test_chunk_list_starts_empty(mem):
+    arena = Arena(mem, CFG, index=0)
+    assert arena.chunks.host_items() == []
+
+
+def test_shared_rcu_domain(mem):
+    rcu = RCU(mem)
+    a = Arena(mem, CFG, index=0, rcu=rcu)
+    b = Arena(mem, CFG, index=1, rcu=rcu)
+    assert a.rcu is rcu and b.rcu is rcu
+
+
+def test_private_rcu_by_default(mem):
+    a = Arena(mem, CFG, index=0)
+    b = Arena(mem, CFG, index=1)
+    assert a.rcu is not b.rcu
+
+
+def test_distinct_arenas_distinct_state(mem):
+    a = Arena(mem, CFG, index=0)
+    b = Arena(mem, CFG, index=1)
+    assert a.chunks.head != b.chunks.head
+    for sa, sb in zip(a.classes, b.classes):
+        assert sa.sem.addr != sb.sem.addr
+        assert sa.bins.head != sb.bins.head

@@ -1,0 +1,119 @@
+"""BinOps: header init, bitmap claim/release, double-free detection."""
+
+import pytest
+
+from repro.core import AllocatorConfig
+from repro.core.bin_ import (
+    BIN_MAGIC,
+    BITMAP_OFF,
+    BinOps,
+    CAPACITY_OFF,
+    COUNT_OFF,
+    DoubleFree,
+    HeapCorruption,
+    MAGIC_OFF,
+    SIZE_OFF,
+)
+from repro.sim import DeviceMemory
+from repro.sim.hostrun import drive, host_ctx
+
+CFG = AllocatorConfig()
+
+
+def make_bin(size):
+    mem = DeviceMemory(1 << 20)
+    binops = BinOps(CFG)
+    bin_addr = mem.host_alloc(CFG.bin_size, align=CFG.bin_size)
+    cap = drive(mem, binops.init_bin(host_ctx(), bin_addr, 0x40000, size))
+    return mem, binops, bin_addr, cap
+
+
+class TestInit:
+    @pytest.mark.parametrize("size", CFG.size_classes)
+    def test_capacity_matches_config(self, size):
+        mem, binops, bin_addr, cap = make_bin(size)
+        assert cap == CFG.bin_capacity(size)
+        assert mem.load_word(bin_addr + CAPACITY_OFF) == cap
+        assert mem.load_word(bin_addr + SIZE_OFF) == size
+        assert mem.load_word(bin_addr + MAGIC_OFF) == BIN_MAGIC
+        # caller owns block 0
+        assert mem.load_word(bin_addr + COUNT_OFF) == cap - 1
+        assert mem.load_word(bin_addr + BITMAP_OFF) & 1
+
+    def test_bits_beyond_capacity_preset(self):
+        mem, binops, bin_addr, cap = make_bin(1024)  # cap == 3
+        word = mem.load_word(bin_addr + BITMAP_OFF)
+        for bit in range(3, 64):
+            assert word & (1 << bit)
+
+    def test_degenerate_2k_bin(self):
+        mem, binops, bin_addr, cap = make_bin(2048)
+        assert cap == 1
+        assert mem.load_word(bin_addr + COUNT_OFF) == 0
+
+
+class TestTakeRelease:
+    def test_take_all_blocks_distinct(self):
+        mem, binops, bin_addr, cap = make_bin(512)  # cap 7, block 0 taken
+        got = []
+        for _ in range(cap - 1):
+            res = drive(mem, binops.try_take(host_ctx(), bin_addr))
+            got.append(res[0])
+        assert len(set(got)) == cap - 1
+        assert 0 not in got
+        assert all(0 < k < cap for k in got)
+
+    def test_take_from_empty_returns_none(self):
+        mem, binops, bin_addr, cap = make_bin(2048)  # already full
+        assert drive(mem, binops.try_take(host_ctx(), bin_addr)) is None
+
+    def test_took_last_flag(self):
+        mem, binops, bin_addr, cap = make_bin(1024)  # cap 3, 2 left
+        r1 = drive(mem, binops.try_take(host_ctx(), bin_addr))
+        r2 = drive(mem, binops.try_take(host_ctx(), bin_addr))
+        assert r1[1] is False and r2[1] is True
+
+    def test_release_returns_old_count(self):
+        mem, binops, bin_addr, cap = make_bin(256)
+        idx, _ = drive(mem, binops.try_take(host_ctx(), bin_addr))
+        before = mem.load_word(bin_addr + COUNT_OFF)
+        old = drive(mem, binops.release_block(host_ctx(), bin_addr, idx))
+        assert old == before
+        assert mem.load_word(bin_addr + COUNT_OFF) == before + 1
+
+    def test_double_free_raises(self):
+        mem, binops, bin_addr, cap = make_bin(256)
+        idx, _ = drive(mem, binops.try_take(host_ctx(), bin_addr))
+        drive(mem, binops.release_block(host_ctx(), bin_addr, idx))
+        with pytest.raises(DoubleFree):
+            drive(mem, binops.release_block(host_ctx(), bin_addr, idx))
+
+    def test_release_beyond_capacity_raises(self):
+        mem, binops, bin_addr, cap = make_bin(1024)
+        with pytest.raises(HeapCorruption):
+            drive(mem, binops.release_block(host_ctx(), bin_addr, cap))
+
+    def test_take_release_cycle_restores_state(self):
+        mem, binops, bin_addr, cap = make_bin(64)
+        taken = [drive(mem, binops.try_take(host_ctx(), bin_addr))[0]
+                 for _ in range(10)]
+        for k in taken:
+            drive(mem, binops.release_block(host_ctx(), bin_addr, k))
+        info = binops.host_summary(mem, bin_addr)
+        assert info["count"] == cap - 1
+        assert info["used_blocks"] == 1  # just block 0
+
+
+class TestHostSummary:
+    def test_summary_fields(self):
+        mem, binops, bin_addr, cap = make_bin(128)
+        info = binops.host_summary(mem, bin_addr)
+        assert info["size"] == 128
+        assert info["capacity"] == cap
+        assert info["chunk"] == 0x40000
+
+    def test_bad_magic_detected(self):
+        mem = DeviceMemory(1 << 16)
+        addr = mem.host_alloc(CFG.bin_size, align=CFG.bin_size)
+        with pytest.raises(HeapCorruption):
+            BinOps(CFG).host_summary(mem, addr)

@@ -1,0 +1,125 @@
+"""BinLayout address arithmetic: forward/reverse mapping, tails,
+alignment guarantees (+ hypothesis roundtrips)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AllocatorConfig, BinLayout
+
+CFG = AllocatorConfig()
+LAYOUT = BinLayout(CFG)
+CHUNK = 0x40000  # any chunk-aligned base
+
+
+class TestForward:
+    def test_bin_base(self):
+        assert LAYOUT.bin_base(CHUNK, 0) == CHUNK
+        assert LAYOUT.bin_base(CHUNK, 3) == CHUNK + 3 * 4096
+
+    def test_tail_bases_live_in_special_bins(self):
+        for b in range(2, CFG.bins_per_chunk):
+            t = LAYOUT.tail_base(CHUNK, b)
+            off = t - CHUNK
+            assert 128 <= off < 2 * CFG.bin_size
+            # never inside the 128-byte headers
+            assert off % CFG.bin_size >= 128 or off >= CFG.bin_size + 128
+
+    def test_tails_are_disjoint(self):
+        tails = [LAYOUT.tail_base(CHUNK, b) for b in range(2, CFG.bins_per_chunk)]
+        assert len(set(tails)) == len(tails)
+        for a in tails:
+            for b in tails:
+                if a != b:
+                    assert abs(a - b) >= CFG.tail_size
+
+    def test_block_addr_main_region(self):
+        # 256-byte blocks start right after the header
+        assert LAYOUT.block_addr(CHUNK, 5, 256, 0) == CHUNK + 5 * 4096 + 128
+        assert LAYOUT.block_addr(CHUNK, 5, 256, 1) == CHUNK + 5 * 4096 + 384
+
+    def test_block_addr_tail_region(self):
+        # 8-byte blocks: block 496 is the first at logical offset 4096
+        addr = LAYOUT.block_addr(CHUNK, 2, 8, 496)
+        assert addr == LAYOUT.tail_base(CHUNK, 2)
+
+
+class TestReverse:
+    def test_chunk_of(self):
+        assert LAYOUT.chunk_of(0, CHUNK + 12345) == CHUNK
+        assert LAYOUT.chunk_of(0, CHUNK) == CHUNK
+
+    def test_locate_rejects_headers(self):
+        with pytest.raises(ValueError):
+            LAYOUT.locate(CHUNK, CHUNK + 64)  # chunk header
+        with pytest.raises(ValueError):
+            LAYOUT.locate(CHUNK, CHUNK + 5 * 4096 + 8)  # bin header
+
+    def test_locate_rejects_outside(self):
+        with pytest.raises(ValueError):
+            LAYOUT.locate(CHUNK, CHUNK - 8)
+        with pytest.raises(ValueError):
+            LAYOUT.locate(CHUNK, CHUNK + CFG.chunk_size)
+
+    def test_block_index_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            LAYOUT.block_index(129, 8)
+
+
+SIZES = st.sampled_from(CFG.size_classes)
+
+
+class TestRoundTrip:
+    @given(size=SIZES, data=st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_forward_then_reverse(self, size, data):
+        cap = CFG.bin_capacity(size)
+        bin_index = data.draw(st.integers(2, CFG.bins_per_chunk - 1))
+        k = data.draw(st.integers(0, cap - 1))
+        addr = LAYOUT.block_addr(CHUNK, bin_index, size, k)
+        owner, logical = LAYOUT.locate(CHUNK, addr)
+        assert owner == bin_index
+        assert LAYOUT.block_index(logical, size) == k
+
+    @given(size=SIZES, data=st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_never_page_aligned(self, size, data):
+        """The routing property malloc/free depend on (paper §4)."""
+        cap = CFG.bin_capacity(size)
+        bin_index = data.draw(st.integers(2, CFG.bins_per_chunk - 1))
+        k = data.draw(st.integers(0, cap - 1))
+        addr = LAYOUT.block_addr(CHUNK, bin_index, size, k)
+        assert addr % CFG.page_size != 0
+
+    @given(size=SIZES, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_blocks_disjoint_within_bin(self, size, data):
+        cap = CFG.bin_capacity(size)
+        bin_index = data.draw(st.integers(2, CFG.bins_per_chunk - 1))
+        k1 = data.draw(st.integers(0, cap - 1))
+        k2 = data.draw(st.integers(0, cap - 1))
+        a1 = LAYOUT.block_addr(CHUNK, bin_index, size, k1)
+        a2 = LAYOUT.block_addr(CHUNK, bin_index, size, k2)
+        if k1 != k2:
+            assert abs(a1 - a2) >= size or abs(a1 - a2) == 0 and False
+
+    def test_all_blocks_of_all_bins_disjoint_exhaustive_small(self):
+        """Exhaustive disjointness for one size: every (bin, k) block of
+        a chunk occupies a unique byte range, and none overlaps any
+        header."""
+        size = 128
+        cap = CFG.bin_capacity(size)
+        claimed = bytearray(CFG.chunk_size)
+        # headers
+        for h in range(128):
+            claimed[h] = 1
+            claimed[CFG.bin_size + h] = 1
+        for b in range(2, CFG.bins_per_chunk):
+            for h in range(128):
+                claimed[b * CFG.bin_size + h] = 1
+        for b in range(2, CFG.bins_per_chunk):
+            for k in range(cap):
+                addr = LAYOUT.block_addr(0, b, size, k)
+                for byte in range(addr, addr + size):
+                    assert claimed[byte] == 0, (b, k, byte)
+                    claimed[byte] = 1

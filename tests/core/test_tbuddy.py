@@ -1,0 +1,259 @@
+"""TBuddy: sequential semantics, invariants, merging, concurrency,
+OOM behaviour, order recovery, property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tbuddy import (
+    ALLOC_BIT,
+    AVAILABLE,
+    BUSY,
+    DoubleFree,
+    InvalidFree,
+    TBuddy,
+)
+from repro.sim import DeviceMemory, Scheduler, ops
+from repro.sim.hostrun import drive, host_ctx
+
+NULL = DeviceMemory.NULL
+PAGE = 4096
+
+
+def make(max_order=6, base=0):
+    mem = DeviceMemory((PAGE << max_order) + (4 << 20))
+    return mem, TBuddy(mem, base, PAGE, max_order)
+
+
+class TestSequential:
+    def test_alloc_returns_page_aligned_in_pool(self):
+        mem, b = make()
+        a = drive(mem, b.alloc(host_ctx(), 0))
+        assert a % PAGE == 0
+        assert 0 <= a < b.pool_size
+
+    def test_alloc_alignment_matches_order(self):
+        mem, b = make()
+        for order in range(4):
+            a = drive(mem, b.alloc(host_ctx(), order))
+            assert a % (PAGE << order) == 0
+
+    def test_alloc_free_restores_full_pool(self):
+        mem, b = make()
+        addrs = [drive(mem, b.alloc(host_ctx(), 1)) for _ in range(4)]
+        for a in addrs:
+            drive(mem, b.free(host_ctx(), a))
+        b.check_invariants(strict_siblings=True)
+        assert b.host_free_bytes() == b.pool_size
+
+    def test_allocations_disjoint(self):
+        mem, b = make(max_order=5)
+        spans = []
+        while True:
+            a = drive(mem, b.alloc(host_ctx(), 0))
+            if a == NULL:
+                break
+            spans.append(a)
+        assert len(spans) == 32
+        assert len(set(spans)) == 32
+
+    def test_mixed_orders_disjoint(self):
+        mem, b = make(max_order=6)
+        spans = []
+        for order in (2, 0, 1, 3, 0, 2, 1):
+            a = drive(mem, b.alloc(host_ctx(), order))
+            if a != NULL:
+                spans.append((a, PAGE << order))
+        spans.sort()
+        for (a1, s1), (a2, _) in zip(spans, spans[1:]):
+            assert a1 + s1 <= a2
+        b.check_invariants(strict_siblings=True)
+
+    def test_exhaustion_returns_null(self):
+        mem, b = make(max_order=4)
+        a = drive(mem, b.alloc(host_ctx(), 4))  # whole pool
+        assert a != NULL
+        assert drive(mem, b.alloc(host_ctx(), 0)) == NULL
+        drive(mem, b.free(host_ctx(), a))
+        assert drive(mem, b.alloc(host_ctx(), 0)) != NULL
+
+    def test_oversized_order_is_null(self):
+        mem, b = make(max_order=4)
+        assert drive(mem, b.alloc(host_ctx(), 5)) == NULL
+
+    def test_merge_rebuilds_root(self):
+        mem, b = make(max_order=4)
+        addrs = [drive(mem, b.alloc(host_ctx(), 0)) for _ in range(16)]
+        for a in addrs:
+            drive(mem, b.free(host_ctx(), a))
+        b.check_invariants(strict_siblings=True)
+        assert b.host_state(1) == AVAILABLE  # fully coalesced
+
+    def test_alloc_bytes_rounds_to_pages(self):
+        mem, b = make()
+        a = drive(mem, b.alloc_bytes(host_ctx(), 5000))  # -> 2 pages
+        node, order = drive(mem, b.find_order(host_ctx(), a))
+        assert order == 1
+
+    def test_free_recovers_order(self):
+        mem, b = make()
+        a2 = drive(mem, b.alloc(host_ctx(), 2))
+        a0 = drive(mem, b.alloc(host_ctx(), 0))
+        drive(mem, b.free(host_ctx(), a2))
+        drive(mem, b.free(host_ctx(), a0))
+        b.check_invariants(strict_siblings=True)
+        assert b.host_free_bytes() == b.pool_size
+
+    def test_double_free_detected(self):
+        mem, b = make()
+        a = drive(mem, b.alloc(host_ctx(), 0))
+        drive(mem, b.free(host_ctx(), a))
+        with pytest.raises(DoubleFree):
+            drive(mem, b.free(host_ctx(), a))
+
+    def test_free_of_non_base_detected(self):
+        mem, b = make()
+        a = drive(mem, b.alloc(host_ctx(), 2))  # 4 pages
+        with pytest.raises((DoubleFree, InvalidFree)):
+            drive(mem, b.free(host_ctx(), a + PAGE))
+
+    def test_free_outside_pool_detected(self):
+        mem, b = make(max_order=4)
+        with pytest.raises(InvalidFree):
+            drive(mem, b.free(host_ctx(), b.pool_size + PAGE))
+
+    def test_free_with_wrong_order_hint(self):
+        mem, b = make()
+        a = drive(mem, b.alloc(host_ctx(), 1))
+        with pytest.raises(InvalidFree):
+            drive(mem, b.free(host_ctx(), a, order=2))
+
+    def test_nonzero_base(self):
+        mem = DeviceMemory((PAGE << 5) * 4)
+        b = TBuddy(mem, base=PAGE << 5, page_size=PAGE, max_order=5)
+        a = drive(mem, b.alloc(host_ctx(), 0))
+        assert (PAGE << 5) <= a < (PAGE << 5) + b.pool_size
+        drive(mem, b.free(host_ctx(), a))
+        assert b.host_free_bytes() == b.pool_size
+
+    def test_rejects_bad_construction(self):
+        mem = DeviceMemory(1 << 20)
+        with pytest.raises(ValueError):
+            TBuddy(mem, 17, PAGE, 4)  # misaligned base
+        with pytest.raises(ValueError):
+            TBuddy(mem, 0, PAGE, 0)
+        with pytest.raises(ValueError):
+            TBuddy(mem, 0, PAGE, 25)
+
+
+class TestNodeMath:
+    def test_node_addr_and_leaf_roundtrip(self):
+        mem, b = make(max_order=6)
+        for node in (1, 2, 3, 64, 127):
+            addr = b.node_addr(node)
+            h = b.node_height(node)
+            leaf = b.leaf_of(addr)
+            assert leaf >> h == node
+
+    def test_semaphore_initial_counts(self):
+        mem, b = make(max_order=6)
+        for order, sem in enumerate(b.sems):
+            assert sem.value == (1 if order == 6 else 0)
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A sequence of allocs (by order) and frees (by index)."""
+    n = draw(st.integers(1, 40))
+    script = []
+    live = 0
+    for _ in range(n):
+        if live and draw(st.booleans()):
+            script.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            script.append(("alloc", draw(st.integers(0, 3))))
+            live += 1
+    return script
+
+
+class TestProperties:
+    @given(script=alloc_free_script())
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_invariants_hold_under_any_script(self, script):
+        mem, b = make(max_order=5)
+        live = []
+        for op, arg in script:
+            if op == "alloc":
+                a = drive(mem, b.alloc(host_ctx(), arg))
+                if a != NULL:
+                    live.append((a, arg))
+            else:
+                if live:
+                    a, order = live.pop(arg % len(live))
+                    drive(mem, b.free(host_ctx(), a))
+        b.check_invariants(strict_siblings=True)
+        # live blocks disjoint
+        spans = sorted((a, PAGE << o) for a, o in live)
+        for (a1, s1), (a2, _) in zip(spans, spans[1:]):
+            assert a1 + s1 <= a2
+        # accounting: free + live == pool
+        assert b.host_free_bytes() + sum(s for _, s in spans) == b.pool_size
+        # free the rest: pool fully recovered and coalesced
+        for a, _ in live:
+            drive(mem, b.free(host_ctx(), a))
+        b.check_invariants(strict_siblings=True)
+        assert b.host_state(1) == AVAILABLE
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_churn_preserves_invariants(self, seed):
+        mem, b = make(max_order=8)
+
+        def kernel(ctx, iters):
+            for _ in range(iters):
+                order = ctx.rng.randrange(0, 4)
+                a = yield from b.alloc(ctx, order)
+                if a != NULL:
+                    yield ops.sleep(ctx.rng.randrange(200))
+                    yield from b.free(ctx, a)
+
+        s = Scheduler(mem, seed=seed)
+        s.launch(kernel, 4, 64, args=(4,))
+        s.run(max_events=30_000_000)
+        b.check_invariants()
+        assert b.host_free_bytes() == b.pool_size
+
+    def test_concurrent_exhaustion_no_oversell(self):
+        mem, b = make(max_order=6)  # 64 pages
+        got = []
+
+        def kernel(ctx):
+            a = yield from b.alloc(ctx, 0)
+            got.append(a)
+
+        s = Scheduler(mem, seed=13)
+        s.launch(kernel, 2, 48)  # 96 threads for 64 pages
+        s.run(max_events=30_000_000)
+        ok = [a for a in got if a != NULL]
+        assert len(ok) == 64
+        assert len(set(ok)) == 64
+        b.check_invariants()
+
+    def test_concurrent_mixed_orders_disjoint(self):
+        mem, b = make(max_order=8)
+        got = []
+
+        def kernel(ctx):
+            order = ctx.tid % 3
+            a = yield from b.alloc(ctx, order)
+            got.append((a, order))
+
+        s = Scheduler(mem, seed=3)
+        s.launch(kernel, 2, 64)
+        s.run(max_events=30_000_000)
+        spans = sorted((a, PAGE << o) for a, o in got if a != NULL)
+        for (a1, s1), (a2, _) in zip(spans, spans[1:]):
+            assert a1 + s1 <= a2, "overlapping allocations"
+        b.check_invariants()

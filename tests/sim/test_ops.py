@@ -1,0 +1,62 @@
+"""Op constructors: tuple shapes, 64-bit masking, signed helpers."""
+
+import pytest
+
+from repro.sim import ops
+
+M64 = (1 << 64) - 1
+
+
+class TestConstructors:
+    def test_opcodes_distinct(self):
+        codes = [
+            ops.OP_SLEEP, ops.OP_LOAD, ops.OP_STORE, ops.OP_CAS, ops.OP_ADD,
+            ops.OP_EXCH, ops.OP_AND, ops.OP_OR, ops.OP_XOR, ops.OP_MAX,
+            ops.OP_MIN, ops.OP_BARRIER, ops.OP_WARP_CONV, ops.OP_YIELD,
+            ops.OP_WARP_SYNC, ops.OP_WARP_MATCH, ops.OP_WARP_BCAST,
+        ]
+        assert len(set(codes)) == len(codes)
+
+    def test_atomics_fall_in_dispatch_range(self):
+        # the scheduler dispatches atomics as OP_CAS <= code <= OP_MIN
+        for code in (ops.OP_ADD, ops.OP_EXCH, ops.OP_AND, ops.OP_OR,
+                     ops.OP_XOR, ops.OP_MAX):
+            assert ops.OP_CAS <= code <= ops.OP_MIN
+
+    def test_store_masks(self):
+        assert ops.store(8, -1) == (ops.OP_STORE, 8, M64)
+        assert ops.store(8, 1 << 64) == (ops.OP_STORE, 8, 0)
+
+    def test_cas_masks_both_values(self):
+        op = ops.atomic_cas(0, -1, 1 << 65)
+        assert op == (ops.OP_CAS, 0, M64, 0)
+
+    def test_sub_is_wrapping_add(self):
+        op = ops.atomic_sub(0, 5)
+        assert op[0] == ops.OP_ADD
+        assert op[2] == (M64 - 4)
+
+    def test_simple_shapes(self):
+        assert ops.sleep(7) == (ops.OP_SLEEP, 7)
+        assert ops.cpu_yield() == (ops.OP_YIELD,)
+        assert ops.syncthreads() == (ops.OP_BARRIER,)
+        assert ops.warp_converge() == (ops.OP_WARP_CONV,)
+        assert ops.load(16) == (ops.OP_LOAD, 16)
+
+    def test_warp_ops_carry_args(self):
+        m = frozenset({1, 2})
+        assert ops.warp_sync(m) == (ops.OP_WARP_SYNC, m)
+        assert ops.warp_match("k") == (ops.OP_WARP_MATCH, "k")
+        assert ops.warp_broadcast(m, 9) == (ops.OP_WARP_BCAST, m, 9)
+
+
+class TestSignedHelpers:
+    @pytest.mark.parametrize("v", [0, 1, -1, 2**63 - 1, -(2**63), 12345, -999])
+    def test_roundtrip(self, v):
+        assert ops.to_signed(ops.to_unsigned(v)) == v
+
+    def test_boundaries(self):
+        assert ops.to_signed(M64) == -1
+        assert ops.to_signed(1 << 63) == -(1 << 63)
+        assert ops.to_signed((1 << 63) - 1) == (1 << 63) - 1
+        assert ops.to_unsigned(-1) == M64

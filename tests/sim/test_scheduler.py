@@ -1,0 +1,358 @@
+"""Scheduler behaviour: ordering, atomics, barriers, warps, residency,
+determinism, error paths."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    DeviceMemory,
+    GPUDevice,
+    InvalidOp,
+    LaunchError,
+    Scheduler,
+    ops,
+)
+from repro.sim.cost_model import CostModel
+
+
+def fresh(size=1 << 16, **dev):
+    mem = DeviceMemory(size)
+    return mem, GPUDevice(**dev) if dev else (mem, GPUDevice())
+
+
+class TestBasics:
+    def test_atomic_add_counts_every_thread(self):
+        mem = DeviceMemory(1 << 12)
+        counter = mem.host_alloc(8)
+
+        def kernel(ctx):
+            yield ops.atomic_add(counter, 1)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 4, 64)
+        s.run()
+        assert mem.load_word(counter) == 256
+
+    def test_kernel_return_values(self):
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            yield ops.sleep(1)
+            return ctx.tid * 2
+
+        s = Scheduler(mem)
+        h = s.launch(kernel, 1, 8)
+        s.run()
+        assert h.results == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_plain_function_kernel_completes_instantly(self):
+        mem = DeviceMemory(1 << 12)
+        s = Scheduler(mem)
+        h = s.launch(lambda ctx: ctx.tid + 100, 1, 4)
+        s.run()
+        assert h.results == [100, 101, 102, 103]
+
+    def test_load_store(self):
+        mem = DeviceMemory(1 << 12)
+        cell = mem.host_alloc(8)
+        mem.store_word(cell, 41)
+
+        def kernel(ctx):
+            v = yield ops.load(cell)
+            yield ops.store(cell, v + 1)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 1)
+        s.run()
+        assert mem.load_word(cell) == 42
+
+    def test_multiple_launches_share_device(self):
+        mem = DeviceMemory(1 << 12)
+        counter = mem.host_alloc(8)
+
+        def kernel(ctx):
+            yield ops.atomic_add(counter, 1)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 32)
+        s.launch(kernel, 1, 32)
+        s.run()
+        assert mem.load_word(counter) == 64
+
+    def test_sequential_runs_advance_time(self):
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            yield ops.sleep(100)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 1)
+        r1 = s.run()
+        s.launch(kernel, 1, 1)
+        r2 = s.run()
+        assert r2.cycles > r1.cycles
+
+
+class TestAtomicSerialization:
+    def test_same_word_atomics_serialize(self):
+        cm = CostModel()
+        mem = DeviceMemory(1 << 12)
+        counter = mem.host_alloc(8)
+
+        def kernel(ctx):
+            yield ops.atomic_add(counter, 1)
+
+        s = Scheduler(mem, cost_model=cm)
+        n = 512
+        s.launch(kernel, 2, 256)
+        rep = s.run()
+        # n atomics on one word cannot finish faster than the service rate
+        assert rep.cycles >= n * cm.atomic_service
+
+    def test_different_words_do_not_serialize(self):
+        cm = CostModel()
+        mem = DeviceMemory(1 << 16)
+        base = mem.host_alloc(8 * 512)
+
+        def kernel(ctx):
+            yield ops.atomic_add(base + 8 * ctx.tid, 1)
+
+        s = Scheduler(mem, cost_model=cm)
+        s.launch(kernel, 2, 256)
+        rep = s.run()
+        assert rep.cycles < 512 * cm.atomic_service
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        mem = DeviceMemory(1 << 12)
+        cell = mem.host_alloc(8)
+        order = []
+
+        def kernel(ctx):
+            yield ops.sleep(ctx.rng.randrange(100))
+            old = yield ops.atomic_add(cell, 1)
+            order.append((old, ctx.tid))
+
+        s = Scheduler(mem, seed=seed)
+        s.launch(kernel, 2, 64)
+        rep = s.run()
+        return order, rep.cycles
+
+    def test_same_seed_same_trace(self):
+        assert self._trace(7) == self._trace(7)
+
+    def test_different_seed_different_interleaving(self):
+        # not guaranteed in principle, but overwhelmingly likely
+        assert self._trace(7)[0] != self._trace(8)[0]
+
+
+class TestBarriers:
+    def test_syncthreads_joins_block(self):
+        mem = DeviceMemory(1 << 12)
+        flag = mem.host_alloc(8)
+        seen = []
+
+        def kernel(ctx):
+            if ctx.tid_in_block == 0:
+                yield ops.sleep(5000)
+                yield ops.store(flag, 1)
+            yield ops.syncthreads()
+            v = yield ops.load(flag)
+            seen.append(v)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 64)
+        s.run()
+        assert seen == [1] * 64
+
+    def test_barrier_per_block_not_global(self):
+        mem = DeviceMemory(1 << 12)
+        done = []
+
+        def kernel(ctx):
+            if ctx.block == 0:
+                yield ops.sleep(100000)
+            yield ops.syncthreads()
+            done.append(ctx.block)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 2, 32)
+        s.run()
+        # block 1 must have finished before block 0's sleepers
+        assert done[:32] == [1] * 32
+
+    def test_exited_threads_release_barrier(self):
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            if ctx.tid_in_block < 16:
+                return  # exit without reaching the barrier
+            yield ops.syncthreads()
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 32)
+        s.run(max_events=10_000)  # must not deadlock
+
+
+class TestWarpOps:
+    def test_warp_converge_full_warp(self):
+        mem = DeviceMemory(1 << 12)
+        masks = []
+
+        def kernel(ctx):
+            m = yield ops.warp_converge()
+            masks.append(m)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 64)
+        s.run()
+        assert all(len(m) == 32 for m in masks)
+
+    def test_warp_converge_partial_when_lanes_exit(self):
+        mem = DeviceMemory(1 << 12)
+        masks = []
+
+        def kernel(ctx):
+            if ctx.lane >= 8:
+                return
+            m = yield ops.warp_converge()
+            masks.append(m)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 32)
+        s.run()
+        assert masks and all(m == frozenset(range(8)) for m in masks)
+
+    def test_warp_converge_window_releases_early_arrivals(self):
+        mem = DeviceMemory(1 << 12)
+        masks = []
+
+        def kernel(ctx):
+            if ctx.lane == 0:
+                yield ops.sleep(100_000)  # way past the window
+            m = yield ops.warp_converge()
+            masks.append(m)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 32)
+        s.run()
+        # lanes 1..31 converged without lane 0; lane 0 converged alone
+        sizes = sorted(len(m) for m in masks)
+        assert sizes[0] == 1 and sizes[-1] == 31
+
+    def test_warp_sync_mask(self):
+        mem = DeviceMemory(1 << 12)
+        out = []
+
+        def kernel(ctx):
+            if ctx.lane >= 4:
+                return
+            mask = frozenset(range(4))
+            yield ops.sleep(ctx.lane * 100)
+            got = yield ops.warp_sync(mask)
+            out.append(got)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 32)
+        s.run()
+        assert out == [frozenset(range(4))] * 4
+
+    def test_warp_sync_rejects_foreign_lane(self):
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            yield ops.warp_sync(frozenset({5}))  # lane 0 not in mask
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 1)
+        with pytest.raises(InvalidOp):
+            s.run()
+
+
+class TestResidency:
+    def test_blocks_queue_beyond_residency(self):
+        device = GPUDevice(num_sms=1, max_resident_blocks=1)
+        mem = DeviceMemory(1 << 12)
+        spans = []
+
+        def kernel(ctx):
+            start = None
+            yield ops.sleep(1000)
+            spans.append(ctx.block)
+
+        s = Scheduler(mem, device)
+        s.launch(kernel, 4, 8)
+        rep = s.run()
+        # 4 blocks serialized on 1 SM slot: at least 4 x 1000 cycles
+        assert rep.cycles >= 4000
+
+    def test_resident_blocks_overlap(self):
+        device = GPUDevice(num_sms=1, max_resident_blocks=4)
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            yield ops.sleep(1000)
+
+        s = Scheduler(mem, device)
+        s.launch(kernel, 4, 8)
+        rep = s.run()
+        assert rep.cycles < 3000
+
+
+class TestErrors:
+    def test_bad_launch_config(self):
+        mem = DeviceMemory(1 << 12)
+        s = Scheduler(mem)
+        with pytest.raises(LaunchError):
+            s.launch(lambda ctx: None, 0, 32)
+        with pytest.raises(LaunchError):
+            s.launch(lambda ctx: None, 1, 4096)
+
+    def test_invalid_yield_detected(self):
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            yield "not an op"
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 1)
+        with pytest.raises(InvalidOp):
+            s.run()
+
+    def test_event_budget_guards_livelock(self):
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            while True:
+                yield ops.cpu_yield()
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 1)
+        with pytest.raises(DeadlockError):
+            s.run(max_events=1000)
+
+    def test_device_exception_carries_thread_info(self):
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            yield ops.sleep(1)
+            raise RuntimeError("boom")
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 1)
+        with pytest.raises(RuntimeError, match="boom") as ei:
+            s.run()
+        assert any("device thread" in n for n in ei.value.__notes__)
+
+    def test_report_throughput(self):
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            yield ops.sleep(100)
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 8)
+        rep = s.run()
+        assert rep.throughput(8) > 0
+        assert rep.seconds == pytest.approx(rep.cycles / rep.cost_model.clock_hz)

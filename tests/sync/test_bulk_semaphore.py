@@ -1,0 +1,190 @@
+"""Bulk semaphore: packing, Algorithm 1/2 semantics, two-stage
+conservation, renege recovery, try_wait exactness — including
+hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import DeviceMemory, Scheduler, ops
+from repro.sim.hostrun import drive, host_ctx
+from repro.sync import BulkSemaphore, BulkSemaphoreOverflow, pack, unpack
+from repro.sync.bulk_semaphore import C_GUARD, E_MAX, R_MAX
+
+
+class TestPacking:
+    @given(
+        c=st.integers(0, C_GUARD - 1),
+        e=st.integers(0, E_MAX),
+        r=st.integers(0, R_MAX),
+    )
+    def test_roundtrip(self, c, e, r):
+        assert unpack(pack(c, e, r)) == (c, e, r)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(BulkSemaphoreOverflow):
+            pack(C_GUARD, 0, 0)
+        with pytest.raises(BulkSemaphoreOverflow):
+            pack(0, E_MAX + 1, 0)
+        with pytest.raises(BulkSemaphoreOverflow):
+            pack(0, 0, -1)
+
+    @given(st.integers(0, (1 << 64) - 1))
+    def test_unpack_total_function(self, word):
+        c, e, r = unpack(word)
+        assert 0 <= c and 0 <= e <= E_MAX and 0 <= r <= R_MAX
+
+
+class TestSequentialSemantics:
+    """Algorithm 1 & 2 run through the host driver (single thread)."""
+
+    def _sem(self, initial=0):
+        mem = DeviceMemory(1 << 12)
+        return mem, BulkSemaphore(mem, initial=initial)
+
+    def test_wait_takes_available_units(self):
+        mem, sem = self._sem(initial=5)
+        assert drive(mem, sem.wait(host_ctx(), 2, 4)) == 0
+        assert sem.counters == (3, 0, 0)
+
+    def test_wait_promises_batch_when_empty(self):
+        mem, sem = self._sem()
+        assert drive(mem, sem.wait(host_ctx(), 1, 4)) == -1
+        assert sem.counters == (0, 3, 0)
+
+    def test_fulfill_publishes_promised_units(self):
+        mem, sem = self._sem()
+        drive(mem, sem.wait(host_ctx(), 1, 4))
+        drive(mem, sem.fulfill(host_ctx(), 3))
+        assert sem.counters == (3, 0, 0)
+
+    def test_renege_withdraws_promise(self):
+        mem, sem = self._sem()
+        drive(mem, sem.wait(host_ctx(), 1, 4))
+        drive(mem, sem.renege(host_ctx(), 3))
+        assert sem.counters == (0, 0, 0)
+
+    def test_post_adds_units(self):
+        mem, sem = self._sem()
+        drive(mem, sem.post(host_ctx(), 7))
+        assert sem.value == 7
+
+    def test_signal_general_form(self):
+        mem, sem = self._sem()
+        drive(mem, sem.wait(host_ctx(), 1, 3))  # E = 2
+        drive(mem, sem.signal(host_ctx(), 5, 2))  # C += 7, E -= 2
+        assert sem.counters == (7, 0, 0)
+
+    def test_try_wait(self):
+        mem, sem = self._sem(initial=2)
+        assert drive(mem, sem.try_wait(host_ctx(), 2)) is True
+        assert drive(mem, sem.try_wait(host_ctx(), 1)) is False
+        assert sem.counters == (0, 0, 0)
+
+    def test_wait_validates_arguments(self):
+        mem, sem = self._sem()
+        with pytest.raises(ValueError):
+            drive(mem, sem.wait(host_ctx(), 0, 4))
+        with pytest.raises(ValueError):
+            drive(mem, sem.wait(host_ctx(), 5, 4))
+
+    def test_wait_equal_batch_always_promises_when_empty(self):
+        # b == n: every uncovered thread is its own batch allocator
+        mem, sem = self._sem()
+        assert drive(mem, sem.wait(host_ctx(), 2, 2)) == -1
+        assert sem.counters == (0, 0, 0)
+
+    @given(initial=st.integers(1, 100), n=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_wait_never_overdraws(self, initial, n):
+        mem, sem = self._sem(initial=initial)
+        r = drive(mem, sem.wait(host_ctx(), n, max(n, 10)))
+        c, e, _ = sem.counters
+        if r == 0:
+            assert c == initial - n
+        else:
+            assert c == initial  # promised instead
+
+
+class TestConcurrentConservation:
+    @pytest.mark.parametrize("batch,n_threads", [(4, 64), (8, 256), (32, 512)])
+    def test_units_conserved(self, batch, n_threads):
+        mem = DeviceMemory(1 << 16)
+        sem = BulkSemaphore(mem)
+        produced = mem.host_alloc(8)
+
+        def kernel(ctx):
+            r = yield from sem.wait(ctx, 1, batch)
+            if r == -1:
+                yield ops.sleep(200)
+                yield ops.atomic_add(produced, batch)
+                yield from sem.fulfill(ctx, batch - 1)
+
+        s = Scheduler(mem, seed=batch)
+        s.launch(kernel, -(-n_threads // 64), 64)
+        s.run(max_events=20_000_000)
+        c, e, r = sem.counters
+        assert e == 0 and r == 0
+        assert mem.load_word(produced) - n_threads == c
+
+    def test_exact_batch_admission(self):
+        """Exactly ceil(N / (b-1)) batches for N units of cold demand."""
+        mem = DeviceMemory(1 << 16)
+        sem = BulkSemaphore(mem)
+        refills = mem.host_alloc(8)
+
+        def kernel(ctx):
+            r = yield from sem.wait(ctx, 1, 128)
+            if r == -1:
+                yield ops.atomic_add(refills, 1)
+                yield from sem.fulfill(ctx, 127)
+
+        s = Scheduler(mem, seed=1)
+        s.launch(kernel, 8, 128)  # 1024 threads
+        s.run(max_events=20_000_000)
+        ideal = -(-1024 // 128)  # one batch serves b demands
+        # modest over-provisioning is allowed (depth collisions), gross
+        # over-promising is a regression
+        assert ideal <= mem.load_word(refills) <= ideal + 4
+
+    def test_renege_recovers_waiters(self):
+        """A failed batch allocation must not strand reserved waiters."""
+        mem = DeviceMemory(1 << 16)
+        sem = BulkSemaphore(mem)
+        outcomes = []
+
+        def kernel(ctx):
+            r = yield from sem.wait(ctx, 1, 8)
+            if r == -1:
+                if ctx.tid % 2 == 0:
+                    yield ops.sleep(500)
+                    yield from sem.renege(ctx, 7)  # allocation "failed"
+                    outcomes.append("renege")
+                else:
+                    yield from sem.fulfill(ctx, 7)
+                    outcomes.append("fulfill")
+            else:
+                outcomes.append("got")
+
+        s = Scheduler(mem, seed=5)
+        s.launch(kernel, 2, 64)
+        s.run(max_events=20_000_000)  # termination is the assertion
+        assert len(outcomes) == 128
+        c, e, r = sem.counters
+        assert e == 0 and r == 0
+
+    def test_try_wait_concurrent_exactness(self):
+        mem = DeviceMemory(1 << 16)
+        sem = BulkSemaphore(mem, initial=100)
+        wins = mem.host_alloc(8)
+
+        def kernel(ctx):
+            got = yield from sem.try_wait(ctx, 1)
+            if got:
+                yield ops.atomic_add(wins, 1)
+
+        s = Scheduler(mem, seed=2)
+        s.launch(kernel, 4, 64)  # 256 threads contend for 100 units
+        s.run(max_events=20_000_000)
+        assert mem.load_word(wins) == 100
+        assert sem.counters == (0, 0, 0)

@@ -1,0 +1,102 @@
+"""Counting semaphore (grow/shrink variant, paper §3.2)."""
+
+import pytest
+
+from repro.sim import DeviceMemory, Scheduler, ops
+from repro.sim.hostrun import drive, host_ctx
+from repro.sync import CountingSemaphore
+
+
+class TestSequential:
+    def _sem(self, initial=0):
+        mem = DeviceMemory(1 << 12)
+        return mem, CountingSemaphore(mem, initial=initial)
+
+    def test_rejects_negative_initial(self):
+        mem = DeviceMemory(1 << 12)
+        with pytest.raises(ValueError):
+            CountingSemaphore(mem, initial=-1)
+
+    def test_wait_acquires_when_available(self):
+        mem, sem = self._sem(initial=3)
+        assert drive(mem, sem.wait(host_ctx(), 2)) == 2
+        assert sem.value == 1
+
+    def test_wait_partial_returns_remainder_and_flags(self):
+        """Paper: if N > S >= 0, S <- -1 and return S."""
+        mem, sem = self._sem(initial=1)
+        assert drive(mem, sem.wait(host_ctx(), 3)) == 1
+        assert sem.value == CountingSemaphore.GROWING
+
+    def test_signal_after_grow_matches_figure_1a(self):
+        """signal(B) lands on the -1 flag: value becomes B - 1."""
+        mem, sem = self._sem()
+        assert drive(mem, sem.wait(host_ctx(), 1)) == 0
+        drive(mem, sem.signal(host_ctx(), 4))
+        assert sem.value == 3
+
+    def test_try_wait(self):
+        mem, sem = self._sem(initial=2)
+        assert drive(mem, sem.try_wait(host_ctx(), 2)) is True
+        assert drive(mem, sem.try_wait(host_ctx(), 1)) is False
+
+
+class TestConcurrent:
+    def test_two_stage_conservation(self):
+        mem = DeviceMemory(1 << 16)
+        sem = CountingSemaphore(mem)
+        produced = mem.host_alloc(8)
+        batch = 16
+
+        def kernel(ctx):
+            r = yield from sem.wait(ctx, 1)
+            if r < 1:
+                yield ops.sleep(300)
+                yield ops.atomic_add(produced, batch)
+                yield from sem.signal(ctx, batch)
+
+        s = Scheduler(mem, seed=3)
+        s.launch(kernel, 4, 64)
+        s.run(max_events=20_000_000)
+        # every thread consumed one unit; the -1 flag absorbed one per batch
+        assert mem.load_word(produced) - 256 == sem.value
+        assert sem.value >= 0
+
+    def test_single_batch_allocator_at_a_time(self):
+        """The defining serial-refill property: the GROWING flag admits
+        exactly one refiller at a time."""
+        mem = DeviceMemory(1 << 16)
+        sem = CountingSemaphore(mem)
+        concurrent = mem.host_alloc(8)
+        violations = []
+
+        def kernel(ctx):
+            r = yield from sem.wait(ctx, 1)
+            if r < 1:
+                old = yield ops.atomic_add(concurrent, 1)
+                if old != 0:
+                    violations.append(ctx.tid)
+                yield ops.sleep(200)
+                yield ops.atomic_sub(concurrent, 1)
+                yield from sem.signal(ctx, 8)
+
+        s = Scheduler(mem, seed=4)
+        s.launch(kernel, 4, 64)
+        s.run(max_events=20_000_000)
+        assert violations == []
+
+    def test_no_unit_lost_under_contention(self):
+        mem = DeviceMemory(1 << 16)
+        sem = CountingSemaphore(mem, initial=300)
+        got = mem.host_alloc(8)
+
+        def kernel(ctx):
+            ok = yield from sem.try_wait(ctx, 1)
+            if ok:
+                yield ops.atomic_add(got, 1)
+
+        s = Scheduler(mem, seed=5)
+        s.launch(kernel, 8, 64)  # 512 threads, 300 units
+        s.run(max_events=20_000_000)
+        assert mem.load_word(got) == 300
+        assert sem.value == 0

@@ -1,0 +1,135 @@
+"""RCU: grace-period correctness, delegation, callbacks, host drain."""
+
+from repro.sim import DeviceMemory, Scheduler, ops
+from repro.sync import RCU
+
+
+def test_callback_runs_only_after_readers_exit(mem, run_kernel):
+    """The core safety property: a callback enqueued while readers are
+    inside their read sections must not run until they all left."""
+    rcu = RCU(mem)
+    active_readers = mem.host_alloc(8)
+    violations = []
+
+    def check_cb(ctx):
+        inside = yield ops.load(active_readers)
+        if inside:
+            violations.append(inside)
+
+    def reader(ctx):
+        idx = yield from rcu.read_lock(ctx)
+        yield ops.atomic_add(active_readers, 1)
+        yield ops.sleep(ctx.rng.randrange(2000))
+        yield ops.atomic_sub(active_readers, 1)
+        yield from rcu.read_unlock(ctx, idx)
+
+    def writer(ctx):
+        yield ops.sleep(ctx.rng.randrange(500))
+        yield from rcu.call(ctx, check_cb)
+        yield from rcu.synchronize(ctx)
+
+    sched_args = {}
+    from repro.sim import Scheduler as S
+    # readers and writers interleaved in one launch
+    def kernel(ctx):
+        if ctx.tid % 8 == 0:
+            yield from writer(ctx)
+        else:
+            yield from reader(ctx)
+
+    run_kernel(kernel, grid=4, block=64)
+    assert violations == []
+    assert rcu.pending_callbacks == 0
+
+
+def test_conditional_barrier_delegates(mem, run_kernel):
+    rcu = RCU(mem)
+    ran = []
+
+    def cb(ctx, tid):
+        ran.append(tid)
+        yield ops.sleep(1)
+
+    def kernel(ctx):
+        yield ops.sleep(ctx.rng.randrange(400))
+        yield from rcu.call(ctx, cb, ctx.tid)
+        yield from rcu.synchronize_conditional(ctx)
+
+    run_kernel(kernel, grid=2, block=64)
+    rcu.drain_host()
+    assert sorted(ran) == list(range(128))
+    # with 128 near-simultaneous writers, many must have delegated
+    assert rcu.barriers_delegated > 0
+    assert rcu.barriers_full >= 1
+
+
+def test_delegated_callbacks_respect_grace_period(mem, run_kernel):
+    """Delegation safety: a delegated callback must still wait for the
+    readers present at its enqueue."""
+    rcu = RCU(mem)
+    active = mem.host_alloc(8)
+    violations = []
+
+    def cb(ctx):
+        inside = yield ops.load(active)
+        if inside:
+            violations.append(inside)
+
+    def kernel(ctx):
+        if ctx.tid % 4 == 0:
+            yield ops.sleep(ctx.rng.randrange(600))
+            yield from rcu.call(ctx, cb)
+            yield from rcu.synchronize_conditional(ctx)
+        else:
+            idx = yield from rcu.read_lock(ctx)
+            yield ops.atomic_add(active, 1)
+            yield ops.sleep(ctx.rng.randrange(1500))
+            yield ops.atomic_sub(active, 1)
+            yield from rcu.read_unlock(ctx, idx)
+
+    run_kernel(kernel, grid=4, block=64)
+    rcu.drain_host()
+    assert violations == []
+
+
+def test_synchronize_with_no_callbacks(mem, run_kernel):
+    rcu = RCU(mem)
+
+    def kernel(ctx):
+        yield from rcu.synchronize(ctx)
+
+    run_kernel(kernel, grid=1, block=8)
+    assert rcu.barriers_full == 8
+
+
+def test_drain_host_runs_pending(mem):
+    rcu = RCU(mem)
+    ran = []
+
+    def cb(ctx, x):
+        ran.append(x)
+        yield ops.sleep(1)
+
+    rcu._callbacks.append((cb, (1,)))
+    rcu._callbacks.append((cb, (2,)))
+    assert rcu.drain_host() == 2
+    assert ran == [1, 2]
+    assert rcu.pending_callbacks == 0
+
+
+def test_callbacks_run_in_fifo_order(mem, run_kernel):
+    rcu = RCU(mem)
+    order = []
+
+    def cb(ctx, k):
+        order.append(k)
+        yield ops.sleep(1)
+
+    def kernel(ctx):
+        # a single thread enqueues in sequence then synchronizes
+        for k in range(5):
+            yield from rcu.call(ctx, cb, k)
+        yield from rcu.synchronize(ctx)
+
+    run_kernel(kernel, grid=1, block=1)
+    assert order == [0, 1, 2, 3, 4]

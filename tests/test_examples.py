@@ -1,0 +1,27 @@
+"""The examples are part of the public deliverable: run each as a
+subprocess and require a clean exit (their internal asserts double as
+integration checks)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script.name} produced no output"
