@@ -9,6 +9,11 @@ Usage::
     python -m repro shootout      # cross-allocator comparison
     python -m repro fragmentation # fragmentation-over-time study
     python -m repro all           # everything above in sequence
+
+    python -m repro fig5 --trace out.json   # + structured tracing:
+        # writes Chrome trace-event JSON (open in chrome://tracing or
+        # https://ui.perfetto.dev) and prints the telemetry summary
+        # (semaphore wait histograms, top stall words, SM occupancy).
 """
 
 from __future__ import annotations
@@ -28,6 +33,9 @@ _TARGETS = {
     "fragmentation": fragmentation.main,
 }
 
+#: targets whose ``main`` accepts a tracer
+_TRACEABLE = frozenset({"fig5", "fig6", "fig7"})
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -40,13 +48,47 @@ def main(argv=None) -> int:
         choices=sorted(_TARGETS) + ["all"],
         help="which experiment to run",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable structured tracing (fig5/fig6/fig7): write Chrome "
+             "trace-event JSON to PATH and print a telemetry summary",
+    )
     args = parser.parse_args(argv)
     targets = sorted(_TARGETS) if args.target == "all" else [args.target]
+
+    tracer = None
+    if args.trace is not None:
+        if not (_TRACEABLE & set(targets)):
+            parser.error(
+                f"--trace supports {', '.join(sorted(_TRACEABLE))} "
+                f"(got {args.target})"
+            )
+        # Fail on an unwritable path now, not after minutes of simulation.
+        try:
+            with open(args.trace, "w"):
+                pass
+        except OSError as e:
+            parser.error(f"--trace: cannot write {args.trace}: {e}")
+        from .sim.trace import Tracer
+
+        tracer = Tracer()
+
     for name in targets:
         print(f"=== {name} " + "=" * (60 - len(name)))
         t0 = time.time()
-        _TARGETS[name]()
+        if tracer is not None and name in _TRACEABLE:
+            _TARGETS[name](tracer=tracer)
+        else:
+            _TARGETS[name]()
         print(f"    ({time.time() - t0:.1f}s wall)\n")
+
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace)
+        print(tracer.summary())
+        print(f"\nChrome trace written to {args.trace} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 

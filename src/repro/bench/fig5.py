@@ -17,7 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from typing import Optional
+
 from ..sim import GPUDevice, DeviceMemory, Scheduler, ops
+from ..sim.trace import Tracer
 from ..sync import BulkSemaphore, CountingSemaphore
 from .reporting import Series, format_table, si
 
@@ -70,13 +73,16 @@ def _counting_kernel(ctx, sem: CountingSemaphore, batch: int, refill_addr: int,
 
 def run_one(kind: str, nthreads: int, batch: int, block: int = 256,
             device: GPUDevice | None = None, seed: int = 1,
-            refill_cycles: int = REFILL_CYCLES) -> float:
+            refill_cycles: int = REFILL_CYCLES,
+            tracer: Optional[Tracer] = None) -> float:
     """Throughput (allocs/s) for one primitive at one thread count."""
     device = device or GPUDevice()
     mem = DeviceMemory(1 << 16)
     refill = mem.host_alloc(8)
     grid = -(-nthreads // block)
-    sched = Scheduler(mem, device, seed=seed)
+    if tracer is not None:
+        tracer.begin_run(f"fig5:{kind} n={nthreads} batch={batch}")
+    sched = Scheduler(mem, device, seed=seed, tracer=tracer)
     if kind == "bulk":
         sem = BulkSemaphore(mem, checked=False)
         sched.launch(_bulk_kernel, grid, block,
@@ -97,13 +103,16 @@ def run(
     block: int = 256,
     device: GPUDevice | None = None,
     seed: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> Fig5Result:
     """Reproduce Figure 5 for one batch size."""
     counting = Series("Counting Semaphores")
     bulk = Series("Bulk Semaphores")
     for n in thread_counts:
-        counting.add(n, run_one("counting", n, batch, block, device, seed))
-        bulk.add(n, run_one("bulk", n, batch, block, device, seed))
+        counting.add(n, run_one("counting", n, batch, block, device, seed,
+                                tracer=tracer))
+        bulk.add(n, run_one("bulk", n, batch, block, device, seed,
+                            tracer=tracer))
     return Fig5Result(batch=batch, counting=counting, bulk=bulk)
 
 
@@ -125,8 +134,8 @@ def run_batch_sweep(
     return out
 
 
-def main() -> Fig5Result:  # pragma: no cover - CLI convenience
-    res = run()
+def main(tracer: Optional[Tracer] = None) -> Fig5Result:  # pragma: no cover
+    res = run(tracer=tracer)
     print(f"Figure 5 (batch={res.batch}):")
     print(res.table())
     return res

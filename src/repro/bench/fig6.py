@@ -18,10 +18,11 @@ that resource-release effect is where the measured speedup comes from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.dlist import DList
 from ..sim import GPUDevice, DeviceMemory, Scheduler, ops
+from ..sim.trace import Tracer
 from ..sync import RCU, SpinLock
 from .reporting import Series, format_table
 
@@ -133,7 +134,8 @@ class Fig6Result:
 
 
 def run_one(n_writers: int, ratio: int, delegated: bool, block: int = 128,
-            device: GPUDevice | None = None, seed: int = 3):
+            device: GPUDevice | None = None, seed: int = 3,
+            tracer: Optional[Tracer] = None):
     """One configuration; returns (cycles, delegated_share, ok)."""
     device = device or GPUDevice()
     n_threads = n_writers * (1 + ratio)
@@ -144,7 +146,10 @@ def run_one(n_writers: int, ratio: int, delegated: bool, block: int = 128,
     reclaimed: List[int] = []
     grid = -(-n_threads // block)
     stride = max(1, (grid * block) // n_writers)
-    sched = Scheduler(mem, device, seed=seed)
+    if tracer is not None:
+        mode = "delegated" if delegated else "classical"
+        tracer.begin_run(f"fig6:{mode} ratio=1:{ratio} writers={n_writers}")
+    sched = Scheduler(mem, device, seed=seed, tracer=tracer)
     sched.launch(
         _search_remove_kernel, grid, block,
         args=(lst, rcu, wmutex, delegated, n_writers, stride, reclaimed),
@@ -164,6 +169,7 @@ def run(
     device: GPUDevice | None = None,
     seed: int = 3,
     max_work: float = 2.0e6,
+    tracer: Optional[Tracer] = None,
 ) -> Fig6Result:
     """Reproduce Figure 6: speedup of delegation across ratios/threads.
 
@@ -183,8 +189,10 @@ def run(
             n_threads = w * (1 + ratio)
             if n_threads * w > max_work:
                 continue
-            cyc_classic, _, ok1 = run_one(w, ratio, False, block, device, seed)
-            cyc_deleg, share, ok2 = run_one(w, ratio, True, block, device, seed)
+            cyc_classic, _, ok1 = run_one(w, ratio, False, block, device, seed,
+                                          tracer=tracer)
+            cyc_deleg, share, ok2 = run_one(w, ratio, True, block, device, seed,
+                                            tracer=tracer)
             if not (ok1 and ok2):
                 raise RuntimeError(
                     f"fig6 correctness check failed (ratio={ratio}, w={w})"
@@ -194,8 +202,8 @@ def run(
     return Fig6Result(points)
 
 
-def main() -> Fig6Result:  # pragma: no cover - CLI convenience
-    res = run()
+def main(tracer: Optional[Tracer] = None) -> Fig6Result:  # pragma: no cover
+    res = run(tracer=tracer)
     print("Figure 6 (RCU delegation speedup):")
     print(res.table())
     return res

@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 from ..baselines import CudaLikeAllocator
 from ..core import AllocatorConfig, ThroughputAllocator
 from ..sim import GPUDevice, DeviceMemory, Scheduler
+from ..sim.trace import Tracer
 from .reporting import Series, format_table, geometric_mean, si, size_label
 from .workloads import malloc_storm
 
@@ -116,6 +117,7 @@ def run_size(
     seed: int = 7,
     max_threads: int = 65536,
     max_pool: int = 1 << 20,
+    tracer: Optional[Tracer] = None,
 ) -> Fig7Point:
     """Exhaust a fresh pool with single-malloc threads at one size."""
     device = device or GPUDevice(num_sms=2, max_resident_blocks=4)
@@ -144,7 +146,11 @@ def run_size(
         base = mem.host_alloc(pool, align=16)
         alloc = CudaLikeAllocator(mem, base, pool)
     kernel, out = malloc_storm(alloc, size)
-    sched = Scheduler(mem, device, seed=seed)
+    if tracer is not None:
+        tracer.begin_run(
+            f"fig7:{allocator} size={size_label(size)} n={grid * blk}"
+        )
+    sched = Scheduler(mem, device, seed=seed, tracer=tracer)
     sched.launch(kernel, grid, blk, args=())
     report = sched.run()
     n_calls = grid * blk
@@ -166,18 +172,20 @@ def run(
     seed: int = 7,
     max_threads: int = 65536,
     max_pool: int = 1 << 20,
+    tracer: Optional[Tracer] = None,
 ) -> Fig7Result:
     """Reproduce Figure 7 for both allocators across ``sizes``."""
     points = []
     for size in sizes:
         for allocator in ("cuda", "ours"):
             points.append(run_size(size, allocator, device, block, seed,
-                                   max_threads, max_pool))
+                                   max_threads, max_pool, tracer=tracer))
     return Fig7Result(points)
 
 
-def main(sizes: Sequence[int] = PAPER_SIZES) -> Fig7Result:  # pragma: no cover
-    res = run(sizes)
+def main(sizes: Sequence[int] = PAPER_SIZES,
+         tracer: Optional[Tracer] = None) -> Fig7Result:  # pragma: no cover
+    res = run(sizes, tracer=tracer)
     print("Figure 7 (allocation throughput by size):")
     print(res.table())
     sp = res.speedups()

@@ -34,9 +34,12 @@ from .errors import (
 )
 from .memory import DeviceMemory
 from .scheduler import LaunchHandle, Scheduler, SimReport
+from .trace import Histogram, Tracer
 
 __all__ = [
     "ops",
+    "Tracer",
+    "Histogram",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "GPUDevice",

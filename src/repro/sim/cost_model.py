@@ -15,7 +15,7 @@ seconds for throughput reporting.  The reproduction only relies on the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,10 @@ class CostModel:
     warp_conv_cost: int = 16
     block_dispatch: int = 200
     clock_hz: float = 1.2e9
+
+    def as_dict(self) -> dict:
+        """The model's parameters as a plain dict (trace-file metadata)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def seconds(self, cycles: int) -> float:
         """Convert a cycle count to virtual seconds."""

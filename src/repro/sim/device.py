@@ -59,6 +59,9 @@ class ThreadCtx:
     block_dim: threads per block for this launch.
     rng: deterministic per-thread RNG (seeded from the scheduler seed and
         ``tid``); use for hashed traversal start points.
+    trace: the scheduler's :class:`~repro.sim.trace.Tracer`, or ``None``
+        when tracing is off.  Device-side primitives report telemetry
+        through it, guarded by ``if ctx.trace is not None``.
     """
 
     tid: int
@@ -70,6 +73,7 @@ class ThreadCtx:
     nthreads: int
     block_dim: int
     rng: random.Random = field(repr=False, default_factory=random.Random)
+    trace: object = field(repr=False, default=None, compare=False)
 
     def is_warp_leader_of(self, mask: frozenset) -> bool:
         """True if this thread is the elected leader of converged ``mask``."""

@@ -74,7 +74,9 @@ def _exec(mem: DeviceMemory, op: tuple) -> Any:
     if code == ops.OP_WARP_SYNC:
         return op[1]
     if code == ops.OP_WARP_BCAST:
-        return op[2]
+        # a lone host driver is its own source; no payload resumes with
+        # the mask, matching the scheduler's degenerate warp_sync case
+        return op[1] if op[2] is ops.NO_PAYLOAD else op[2]
     if code == ops.OP_BARRIER:
         return None
     raise InvalidOp(f"op {op!r} cannot run host-side (no scheduler)")

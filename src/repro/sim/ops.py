@@ -45,7 +45,43 @@ OP_WARP_SYNC = 14
 OP_WARP_MATCH = 15
 OP_WARP_BCAST = 16
 
+#: opcode -> human-readable name (trace labels, ``SimReport.named_op_counts``)
+OP_NAMES = {
+    OP_SLEEP: "sleep",
+    OP_LOAD: "load",
+    OP_STORE: "store",
+    OP_CAS: "atomic_cas",
+    OP_ADD: "atomic_add",
+    OP_EXCH: "atomic_exch",
+    OP_AND: "atomic_and",
+    OP_OR: "atomic_or",
+    OP_XOR: "atomic_xor",
+    OP_MAX: "atomic_max",
+    OP_MIN: "atomic_min",
+    OP_BARRIER: "syncthreads",
+    OP_WARP_CONV: "warp_converge",
+    OP_YIELD: "cpu_yield",
+    OP_WARP_SYNC: "warp_sync",
+    OP_WARP_MATCH: "warp_match",
+    OP_WARP_BCAST: "warp_broadcast",
+}
+
 _MASK64 = (1 << 64) - 1
+
+
+class _NoPayload:
+    """Sentinel: this lane contributes no broadcast payload."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<no payload>"
+
+
+#: Default ``value`` for :func:`warp_broadcast` — distinct from ``None``
+#: so that any real Python object, falsy values included, can be
+#: broadcast.
+NO_PAYLOAD = _NoPayload()
 
 Op = Tuple  # an op is a tuple whose first element is an opcode
 
@@ -168,13 +204,17 @@ def warp_match(key) -> Op:
     return (OP_WARP_MATCH, key)
 
 
-def warp_broadcast(mask: frozenset, value=None) -> Op:
+def warp_broadcast(mask: frozenset, value=NO_PAYLOAD) -> Op:
     """Synchronize the lanes in ``mask`` and broadcast one lane's value
     — the simulator's ``__shfl_sync()`` (leader-to-all form).
 
     Every lane in ``mask`` must call this with the same mask; exactly
-    the lanes passing a non-None ``value`` act as the source (typically
-    the elected leader).  All lanes receive the source's value.
+    one lane — the source, typically the elected leader — passes a
+    ``value`` (any object, falsy values and ``None`` included).  All
+    lanes receive the source's value.  More than one contributing lane
+    raises :class:`~repro.sim.errors.InvalidOp`: the broadcast would
+    otherwise be arrival-order dependent.  If no lane contributes, the
+    call degrades to :func:`warp_sync` and resumes with the mask.
     """
     return (OP_WARP_BCAST, mask, value)
 

@@ -27,16 +27,18 @@ Three hardware behaviours the reproduction depends on are modeled here:
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from types import GeneratorType as Generator
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from . import ops as _ops
 from .cost_model import DEFAULT_COST_MODEL, CostModel
 from .device import DEFAULT_DEVICE, GPUDevice, ThreadCtx
 from .errors import DeadlockError, InvalidOp, LaunchError
 from .memory import DeviceMemory
+from .trace import Tracer
 
 # Thread states
 _ST_READY = 0
@@ -120,6 +122,14 @@ class SimReport:
     cost_model: CostModel = DEFAULT_COST_MODEL
 
     @property
+    def named_op_counts(self) -> Dict[str, int]:
+        """Op counts keyed by opcode *name* (``atomic_add``, ``load``,
+        ...), descending by count — the human-readable view of
+        :attr:`op_counts`."""
+        items = sorted(self.op_counts.items(), key=lambda kv: -kv[1])
+        return {_ops.OP_NAMES.get(k, f"op{k}"): v for k, v in items}
+
+    @property
     def seconds(self) -> float:
         """Virtual wall time of the run."""
         return self.cost_model.seconds(self.cycles)
@@ -170,6 +180,7 @@ class Scheduler:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         seed: int = 0,
         track_contention: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.memory = memory
         self.device = device
@@ -182,7 +193,9 @@ class Scheduler:
         self._heap: list = []
         self._seq = 0
         self._word_avail: Dict[int, int] = {}
-        self._sm_queues: List[List[_Block]] = [[] for _ in range(device.num_sms)]
+        self._sm_queues: List[Deque[_Block]] = [
+            deque() for _ in range(device.num_sms)
+        ]
         self._sm_resident: List[int] = [0] * device.num_sms
         self._now = 0
         self._events = 0
@@ -192,6 +205,10 @@ class Scheduler:
         # contention telemetry: word index -> atomic op count
         self.track_contention = track_contention
         self._word_ops: Dict[int, int] = {}
+        # structured tracing/telemetry (opt-in; None costs one test per event)
+        self.tracer = tracer
+        if tracer is not None:
+            tracer._attach(self)
 
     # ------------------------------------------------------------------
     # Launch
@@ -242,6 +259,7 @@ class Scheduler:
                     nthreads=nthreads,
                     block_dim=block,
                     rng=random.Random((self.seed << 20) ^ (tid * 0x9E3779B9)),
+                    trace=self.tracer,
                 )
                 gen = kernel(ctx, *args)
                 if not isinstance(gen, Generator):
@@ -261,14 +279,19 @@ class Scheduler:
         for sm in range(self.device.num_sms):
             q = self._sm_queues[sm]
             while q and self._sm_resident[sm] < self.device.max_resident_blocks:
-                blk = q.pop(0)
+                blk = q.popleft()
                 self._sm_resident[sm] += 1
                 self._dispatch_block(blk, t)
 
     def _dispatch_block(self, blk: _Block, t: int) -> None:
         blk.dispatched = True
         warp_size = self.device.warp_size
-        start = t + (self.cost_model.block_dispatch if t else 0)
+        # Dispatch cost is charged uniformly — including for blocks
+        # dispatched at virtual time 0, which used to start for free and
+        # skewed small-grid timings.
+        start = t + self.cost_model.block_dispatch
+        if self.tracer is not None:
+            self.tracer.block_dispatched(blk, start, self._sm_resident[blk.sm])
         for tid in blk.tids:
             th = self._threads[tid]
             # Stagger warps slightly so launches do not start in perfect
@@ -303,6 +326,7 @@ class Scheduler:
         threads = self._threads
         word_avail = self._word_avail
         op_counts = self._op_counts
+        tracer = self.tracer
         atomic_service = cm.atomic_service
         atomic_latency = cm.atomic_latency
         load_latency = cm.load_latency
@@ -377,6 +401,8 @@ class Scheduler:
                 else:  # pragma: no cover - defensive
                     raise InvalidOp(f"unexpected pending op {op!r}")
                 th.pending = None
+                if tracer is not None:
+                    tracer.op_executed(th, code, t, resume_at - t)
             else:
                 result = th.inbox
                 th.inbox = None
@@ -446,6 +472,12 @@ class Scheduler:
                     word_avail[waddr] = exec_at + atomic_service
                     if self.track_contention:
                         self._word_ops[waddr] = self._word_ops.get(waddr, 0) + 1
+                    if tracer is not None:
+                        # serialization stall: how long the word's FIFO
+                        # queue pushed this atomic past its issue slot
+                        tracer.atomic_issued(
+                            waddr, exec_at - resume_at - step_cost
+                        )
                 self._push(exec_at, tid)
                 break
 
@@ -458,13 +490,16 @@ class Scheduler:
                 f"event queue drained with {self._live_threads} live threads "
                 f"({parked} parked on barriers/convergence)"
             )
-        return SimReport(
+        report = SimReport(
             cycles=self._now,
             events=events,
             n_threads=len(threads),
             op_counts=dict(op_counts),
             cost_model=cm,
         )
+        if tracer is not None:
+            tracer.run_finished(report)
+        return report
 
     # ------------------------------------------------------------------
     # Thread completion, barriers, convergence
@@ -482,17 +517,24 @@ class Scheduler:
 
     def _retire_block(self, blk: _Block, t: int) -> None:
         self._sm_resident[blk.sm] -= 1
+        if self.tracer is not None:
+            self.tracer.block_retired(blk, t, self._sm_resident[blk.sm])
+        # Fill *every* freed residency slot, not just one — the SM may
+        # have more than one slot open by the time a block retires.
+        # (_dispatch_block charges the dispatch latency itself.)
         q = self._sm_queues[blk.sm]
-        if q and self._sm_resident[blk.sm] < self.device.max_resident_blocks:
-            nxt = q.pop(0)
+        while q and self._sm_resident[blk.sm] < self.device.max_resident_blocks:
+            nxt = q.popleft()
             self._sm_resident[blk.sm] += 1
-            self._dispatch_block(nxt, t + self.cost_model.block_dispatch)
+            self._dispatch_block(nxt, t)
 
     def _park_barrier(self, th: _Thread, t: int) -> None:
         th.state = _ST_BARRIER
         th.park_time = t
         blk = th.block
         blk.barrier_waiters.append(th.tid)
+        if self.tracer is not None:
+            self.tracer.parked(th, "barrier", t)
         self._maybe_release_barrier(blk, t)
         self._maybe_release_conv(th.warp, t)
 
@@ -503,10 +545,13 @@ class Scheduler:
             max(self._threads[tid].park_time for tid in blk.barrier_waiters)
             + self.cost_model.barrier_cost
         )
+        tracer = self.tracer
         for tid in blk.barrier_waiters:
             w = self._threads[tid]
             w.state = _ST_READY
             w.inbox = None
+            if tracer is not None:
+                tracer.unparked(w, "barrier", release)
             self._push(release, tid)
         blk.barrier_waiters.clear()
 
@@ -515,6 +560,8 @@ class Scheduler:
         th.park_time = t
         warp = th.warp
         warp.conv_waiters.append(th.tid)
+        if self.tracer is not None:
+            self.tracer.parked(th, "warp_converge", t)
         if warp.conv_timer_gen != warp.conv_gen:
             warp.conv_timer_gen = warp.conv_gen
             gen = warp.conv_gen
@@ -531,7 +578,7 @@ class Scheduler:
             self._release_conv(warp, t)
 
     def _park_warp_sync(self, th: _Thread, mask: frozenset, t: int,
-                        payload=None) -> None:
+                        payload=_ops.NO_PAYLOAD) -> None:
         warp = th.warp
         if th.ctx.lane not in mask:
             raise InvalidOp(
@@ -542,22 +589,39 @@ class Scheduler:
         th.park_time = t
         waiters = warp.sync_waiters.setdefault(mask, [])
         waiters.append(th.tid)
-        if payload is not None:
-            warp.bcast_values.setdefault(mask, []).append(payload)
+        if self.tracer is not None:
+            self.tracer.parked(th, "warp_sync", t)
+        if payload is not _ops.NO_PAYLOAD:
+            warp.bcast_values.setdefault(mask, []).append((th.ctx.lane, payload))
         if len(waiters) == len(mask):
             threads = self._threads
             payloads = warp.bcast_values.pop(mask, None)
             # warp_sync resumes with the mask; warp_broadcast resumes
-            # with the (single) source lane's payload
-            result = mask if payloads is None else payloads[0]
+            # with the single source lane's payload (falsy values and
+            # None included — absence is the NO_PAYLOAD sentinel, not
+            # None, so they are distinguishable).
+            if payloads is None:
+                result = mask
+            elif len(payloads) > 1:
+                lanes = sorted(lane for lane, _ in payloads)
+                raise InvalidOp(
+                    f"warp_broadcast on mask {sorted(mask)} received payloads "
+                    f"from lanes {lanes}; exactly one source lane may "
+                    "contribute a value"
+                )
+            else:
+                result = payloads[0][1]
             release = (
                 max(threads[tid].park_time for tid in waiters)
                 + self.cost_model.warp_conv_cost
             )
+            tracer = self.tracer
             for tid in waiters:
                 w = threads[tid]
                 w.state = _ST_READY
                 w.inbox = result
+                if tracer is not None:
+                    tracer.unparked(w, "warp_sync", release)
                 self._push(release, tid)
             del warp.sync_waiters[mask]
         else:
@@ -584,6 +648,7 @@ class Scheduler:
         )
         release = max(release, t)
         keys = warp.conv_keys
+        tracer = self.tracer
         _MISSING = object()
         for tid in warp.conv_waiters:
             w = threads[tid]
@@ -599,6 +664,8 @@ class Scheduler:
                     for o in warp.conv_waiters
                     if keys.get(o, _MISSING) == key
                 )
+            if tracer is not None:
+                tracer.unparked(w, "warp_converge", release)
             self._push(release, tid)
         warp.conv_waiters.clear()
         warp.conv_keys.clear()

@@ -130,6 +130,8 @@ class BulkSemaphore:
         owes ``b - n`` via :meth:`fulfill`/:meth:`renege`)."""
         if n <= 0 or b < n:
             raise ValueError(f"wait requires 0 < n <= b (got n={n}, b={b})")
+        tr = ctx.trace
+        t0 = tr.now(ctx) if tr is not None else 0
         backoff = 32
         while True:
             # Reserve first.  The returned pre-state is the word's exact
@@ -163,6 +165,8 @@ class BulkSemaphore:
                 if b == n or depth <= 0 or depth % b < n:
                     delta = (((b - n) << E_SHIFT) - (n << R_SHIFT)) & _MASK64
                     yield ops.atomic_add(self.addr, delta)
+                    if tr is not None:
+                        tr.sem_waited(ctx, self.addr, t0, "batch")
                     return -1
                 yield ops.atomic_sub(self.addr, n << R_SHIFT)
                 yield ops.sleep(ctx.rng.randrange(backoff))
@@ -182,6 +186,8 @@ class BulkSemaphore:
                     old = yield ops.atomic_sub(self.addr, take)
                     oc = (old >> C_SHIFT) & C_MAX
                     if n <= oc < C_GUARD:
+                        if tr is not None:
+                            tr.sem_waited(ctx, self.addr, t0, "acquired")
                         return 0
                     yield ops.atomic_add(self.addr, take)
                 elif r >= c + e:

@@ -60,6 +60,10 @@ class CollectiveMutex:
         """
         mask = yield ops.warp_converge()
         if ctx.lane == min(mask):
+            if ctx.trace is not None:
+                # one sample per group: the coalescing width this
+                # collective acquire amortized the mutex over
+                ctx.trace.collective_joined(ctx, len(mask))
             yield from self._mutex.lock(ctx)
         mask = yield ops.warp_sync(mask)
         return mask
@@ -75,6 +79,8 @@ class CollectiveMutex:
     def lock_block(self, ctx: ThreadCtx):
         """Collectively acquire with the entire thread block."""
         if ctx.tid_in_block == 0:
+            if ctx.trace is not None:
+                ctx.trace.collective_joined(ctx, ctx.block_dim)
             yield from self._mutex.lock(ctx)
         yield ops.syncthreads()
 

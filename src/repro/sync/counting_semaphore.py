@@ -51,6 +51,8 @@ class CountingSemaphore:
         only ``r`` remained — the caller is then responsible for growing
         the pool by allocating a new batch and calling :meth:`signal`.
         """
+        tr = ctx.trace
+        t0 = tr.now(ctx) if tr is not None else 0
         backoff = 32
         cas_backoff = 8
         while True:
@@ -69,6 +71,8 @@ class CountingSemaphore:
                 # massive contention, see bulk_semaphore.py.
                 old = to_signed((yield ops.atomic_sub(self.addr, n)))
                 if old >= n:
+                    if tr is not None:
+                        tr.sem_waited(ctx, self.addr, t0, "acquired")
                     return n
                 yield ops.atomic_add(self.addr, n)
                 continue
@@ -78,6 +82,8 @@ class CountingSemaphore:
                 self.addr, to_unsigned(s), to_unsigned(self.GROWING)
             )
             if to_signed(old) == s:
+                if tr is not None:
+                    tr.sem_waited(ctx, self.addr, t0, "grower")
                 return s
             yield ops.sleep(ctx.rng.randrange(cas_backoff))
             if cas_backoff < self.max_backoff:

@@ -101,6 +101,8 @@ class RCU:
         waiting = yield ops.load(self.waiters_addr)
         if waiting > 0:
             self.barriers_delegated += 1
+            if ctx.trace is not None:
+                ctx.trace.rcu_delegation(ctx)
             return False
         yield from self._full_barrier(ctx)
         return True
@@ -114,6 +116,8 @@ class RCU:
         # and snapshot the callback queue.
         n_cbs = len(self._callbacks)
         e = yield ops.atomic_add(self.epoch_addr, 1)
+        tr = ctx.trace
+        t_flip = tr.now(ctx) if tr is not None else 0
         yield ops.atomic_sub(self.waiters_addr, 1)
         old_idx = e & 1
         backoff = 32
@@ -124,6 +128,9 @@ class RCU:
             yield ops.sleep(ctx.rng.randrange(backoff))
             if backoff < 2048:
                 backoff <<= 1
+        if tr is not None:
+            # grace-period latency: epoch flip -> previous epoch drained
+            tr.rcu_grace_period(ctx, t_flip, tr.now(ctx))
         # Run every callback enqueued before our flip (including ones
         # delegated by conditional barriers).
         to_run = self._callbacks[:n_cbs]

@@ -40,11 +40,19 @@ class SpinLock:
     # -- device side ---------------------------------------------------
     def try_lock(self, ctx: ThreadCtx):
         """Single attempt; returns True if the lock was taken."""
+        tr = ctx.trace
+        t0 = tr.now(ctx) if tr is not None else 0
         old = yield ops.atomic_cas(self.addr, _FREE, _HELD)
-        return old == _FREE
+        if old == _FREE:
+            if tr is not None:
+                tr.lock_acquired(ctx, self.addr, t0)
+            return True
+        return False
 
     def lock(self, ctx: ThreadCtx):
         """Acquire, spinning with randomized exponential backoff."""
+        tr = ctx.trace
+        t0 = tr.now(ctx) if tr is not None else 0
         backoff = 32
         while True:
             # test-and-test-and-set: read before attempting the CAS so a
@@ -53,6 +61,8 @@ class SpinLock:
             if val == _FREE:
                 old = yield ops.atomic_cas(self.addr, _FREE, _HELD)
                 if old == _FREE:
+                    if tr is not None:
+                        tr.lock_acquired(ctx, self.addr, t0)
                     return
             yield ops.sleep(ctx.rng.randrange(backoff))
             if backoff < self.max_backoff:
@@ -61,6 +71,8 @@ class SpinLock:
     def unlock(self, ctx: ThreadCtx):
         """Release.  The caller must hold the lock."""
         yield ops.atomic_exch(self.addr, _FREE)
+        if ctx.trace is not None:
+            ctx.trace.lock_released(ctx, self.addr)
 
     # -- host side -----------------------------------------------------
     def is_locked(self) -> bool:

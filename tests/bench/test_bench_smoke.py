@@ -17,10 +17,23 @@ class TestReporting:
         s.add(2, 20.0)
         assert s.y_at(2) == 20.0
 
+    def test_series_y_at_missing_x_names_series_and_points(self):
+        s = reporting.Series("tput")
+        s.add(1, 10.0)
+        with pytest.raises(KeyError, match=r"'tput'.*x=7.*\[1\]"):
+            s.y_at(7)
+
     def test_geometric_mean(self):
         assert reporting.geometric_mean([1, 100]) == pytest.approx(10.0)
         assert reporting.geometric_mean([]) == 0.0
-        assert reporting.geometric_mean([0, 5]) == pytest.approx(5.0)  # zeros skipped
+
+    def test_geometric_mean_warns_on_non_positive(self):
+        # Regression: zeros used to be dropped silently, inflating the
+        # mean of a vector with failed data points.
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert reporting.geometric_mean([0, 5]) == pytest.approx(5.0)
+        with pytest.warns(RuntimeWarning):
+            assert reporting.geometric_mean([-1, 0]) == 0.0
 
     def test_si(self):
         assert reporting.si(12_300_000) == "12.30M"
