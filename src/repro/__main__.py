@@ -14,6 +14,9 @@ Usage::
         # writes Chrome trace-event JSON (open in chrome://tracing or
         # https://ui.perfetto.dev) and prints the telemetry summary
         # (semaphore wait histograms, top stall words, SM occupancy).
+
+    python -m repro verify        # concurrency verification: schedule
+        # fuzzing + race detection + replay (see `verify --help`).
 """
 
 from __future__ import annotations
@@ -38,6 +41,14 @@ _TRACEABLE = frozenset({"fig5", "fig6", "fig7"})
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify":
+        # The verification subsystem owns its own argument surface;
+        # dispatch before the experiment parser sees the argv.
+        from .verify.cli import main as verify_main
+
+        return verify_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PPoPP'19 allocator paper's evaluation "

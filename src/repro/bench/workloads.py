@@ -67,22 +67,32 @@ def producer_consumer(allocator, size: int, slots: int, mem, iters: int):
     Crosses frees between SMs/arenas (the paper's free-anywhere path).
     Returns ``(kernel, mailbox_addr)``; the mailbox must be zeroed
     between runs.
+
+    Every producer iteration publishes exactly one token even when
+    ``malloc`` fails: a NULL result is forwarded as a poison value the
+    consumer consumes without freeing.  Skipping the publish instead
+    (an earlier version did) livelocks an undersized pool — the paired
+    consumer spins forever on a slot nobody will ever fill and the
+    scheduler eventually reports a deadlock.
     """
     mailbox = mem.host_alloc(8 * slots)
     for i in range(slots):
         mem.store_word(mailbox + 8 * i, 0)
+
+    # Slots hold p + 1 so that 0 means "empty"; NULL is 2**64 - 1, so
+    # POISON (NULL as-is) can never collide with a published p + 1.
+    poison = _NULL
 
     def kernel(ctx):
         half = ctx.nthreads // 2
         if ctx.tid < half:  # producer
             for i in range(iters):
                 p = yield from allocator.malloc(ctx, size)
-                if p == _NULL:
-                    continue
+                token = poison if p == _NULL else p + 1
                 slot = mailbox + 8 * ((ctx.tid + i) % slots)
                 # publish; spin until the slot is empty
                 while True:
-                    old = yield ops.atomic_cas(slot, 0, p + 1)
+                    old = yield ops.atomic_cas(slot, 0, token)
                     if old == 0:
                         break
                     yield ops.cpu_yield()
@@ -94,7 +104,8 @@ def producer_consumer(allocator, size: int, slots: int, mem, iters: int):
                     if val:
                         break
                     yield ops.cpu_yield()
-                yield from allocator.free(ctx, val - 1)
+                if val != poison:
+                    yield from allocator.free(ctx, val - 1)
 
     return kernel, mailbox
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from ..sim.device import GPUDevice, ThreadCtx
 from ..sim.memory import DeviceMemory
 from .config import DEFAULT_CONFIG, AllocatorConfig, round_up_pow2
-from .tbuddy import TBuddy
+from .tbuddy import InvalidFree, TBuddy
 from .ualloc import UAlloc
 
 _NULL = DeviceMemory.NULL
@@ -119,9 +119,20 @@ class ThroughputAllocator:
         return addr
 
     def free(self, ctx: ThreadCtx, addr: int):
-        """Release a block returned by :meth:`malloc` (NULL is a no-op)."""
+        """Release a block returned by :meth:`malloc` (NULL is a no-op).
+
+        Raises :class:`~repro.core.tbuddy.InvalidFree` for addresses
+        outside the pool: alignment routing would otherwise hand the
+        address to UAlloc, whose chunk-of masking computes a garbage
+        chunk base and reports an opaque ``HeapCorruption``.
+        """
         if addr == _NULL:
             return
+        if not (0 <= addr - self.pool_base < self.cfg.pool_size):
+            raise InvalidFree(
+                f"free({addr:#x}): address outside the pool "
+                f"[{self.pool_base:#x}, {self.pool_base + self.cfg.pool_size:#x})"
+            )
         self.stats.n_free += 1
         if (addr - self.pool_base) % self.cfg.page_size == 0:
             yield from self.tbuddy.free(ctx, addr)
@@ -184,3 +195,18 @@ class ThroughputAllocator:
             arena.chunks.host_check()
             for sc in arena.classes:
                 sc.bins.host_check()
+        self.ualloc.host_check()
+
+    def host_checkpoint(self, expect_leak_free: bool = False,
+                        strict_siblings: bool = False) -> None:
+        """Full quiescent checkpoint for verification sweeps: finish
+        opportunistic reclamation, validate every structural and
+        accounting invariant, and optionally assert that no bytes remain
+        handed out (leak accounting after a full-free phase)."""
+        self.ualloc.host_gc()
+        self.host_check(strict_siblings=strict_siblings)
+        if expect_leak_free:
+            used = self.host_used_bytes()
+            assert used == 0, (
+                f"leak: {used} bytes still handed out at a full-free checkpoint"
+            )

@@ -43,6 +43,10 @@ class DList:
     # -- device side (writers must hold the list's external lock) ---------
     def insert_head(self, ctx: ThreadCtx, node: int):
         """Link ``node`` right after the sentinel."""
+        if ctx.trace is not None:
+            # Hook fires *before* the link writes so verification layers
+            # can lift any reclamation quarantine on a re-inserted node.
+            ctx.trace.list_inserted(ctx, self, node)
         first = yield ops.load(self.head + self.next_off)
         yield ops.store(node + self.next_off, first)
         yield ops.store(node + self.prev_off, self.head)
@@ -53,6 +57,8 @@ class DList:
 
     def insert_tail(self, ctx: ThreadCtx, node: int):
         """Link ``node`` right before the sentinel."""
+        if ctx.trace is not None:
+            ctx.trace.list_inserted(ctx, self, node)
         last = yield ops.load(self.head + self.prev_off)
         yield ops.store(node + self.next_off, self.head)
         yield ops.store(node + self.prev_off, last)
@@ -62,6 +68,8 @@ class DList:
     def remove(self, ctx: ThreadCtx, node: int):
         """Unlink ``node``; its own link words are left intact so
         concurrent readers parked on it can still walk off of it."""
+        if ctx.trace is not None:
+            ctx.trace.list_removed(ctx, self, node)
         nxt = yield ops.load(node + self.next_off)
         prv = yield ops.load(node + self.prev_off)
         yield ops.store(prv + self.next_off, nxt)

@@ -41,12 +41,19 @@ from ..sim import ops
 from ..sim.device import ThreadCtx
 from ..sim.errors import SimError
 from ..sim.memory import DeviceMemory
-from ..sync.bulk_semaphore import BulkSemaphore
+from ..sync.bulk_semaphore import C_GUARD, BulkSemaphore
 
 # node word layout
 STATE_MASK = 0b011
 LOCK_BIT = 0b100
 ALLOC_BIT = 0b1000
+
+#: Largest supported tree height.  A fully-split pool puts all
+#: ``2**max_order`` order-0 blocks into one bulk semaphore, and the F&A
+#: borrow-detection needs legitimate supply to stay strictly below
+#: ``C_GUARD`` — at ``C == C_GUARD`` a real count is indistinguishable
+#: from a transient claim borrow (and ``pack`` rejects the state).
+MAX_ORDER = C_GUARD.bit_length() - 2  # 20 with the default C:22 field
 
 BUSY = 0
 AVAILABLE = 1
@@ -80,8 +87,14 @@ class TBuddy:
     ):
         if base % page_size:
             raise ValueError("pool base must be page aligned")
-        if not (1 <= max_order <= 21):
-            raise ValueError("max_order must be in 1..21 (semaphore field width)")
+        if not (1 <= max_order <= MAX_ORDER):
+            # At max_order 21 a fully-split pool holds C_GUARD order-0
+            # blocks: pack() rejects C == C_GUARD and the F&A borrow
+            # detection misreads the legitimate count as a borrow.
+            raise ValueError(
+                f"max_order must be in 1..{MAX_ORDER} "
+                "(2**max_order must stay below the semaphore borrow guard)"
+            )
         self.mem = mem
         self.base = base
         self.page_size = page_size
@@ -238,8 +251,12 @@ class TBuddy:
         give = keep ^ 1
         # The subtree is exclusively ours (just allocated): mark the kept
         # child as the allocation, demote the parent to PARTIAL, publish
-        # the other child, then fulfil the semaphore promise.
-        yield ops.store(self._naddr(keep), BUSY | ALLOC_BIT)
+        # the other child, then fulfil the semaphore promise.  The flag
+        # must be OR'd in, not stored: a DFS that read the child's word
+        # before our ancestor became BUSY may transiently hold its lock
+        # bit (``_lock`` re-loads and CASes whatever word it finds), and
+        # a plain store would clobber that lock.
+        yield ops.atomic_or(self._naddr(keep), ALLOC_BIT)
         yield from self._transition(ctx, parent, PARTIAL)
         yield from self._transition(ctx, give, AVAILABLE)
         yield from self.sems[order].fulfill(ctx, 1)
@@ -320,7 +337,9 @@ class TBuddy:
             )
         order = found
         # Drop the ALLOC flag; the block is now a plain busy node we own.
-        yield ops.store(self._naddr(node), BUSY)
+        # AND, not store: a stale DFS may transiently hold the node's
+        # lock bit, which a plain store would wipe.
+        yield ops.atomic_and(self._naddr(node), ~ALLOC_BIT)
         while True:
             if order < self.max_order:
                 got = yield from self.sems[order].try_wait(ctx, 1)

@@ -440,6 +440,68 @@ class UAlloc:
     # ------------------------------------------------------------------
     # host-side introspection
     # ------------------------------------------------------------------
+    def host_check(self) -> None:
+        """Quiescent semaphore-accounting invariants (§3.3 applied to
+        §4.2's two-stage hierarchy); raises AssertionError on violation.
+
+        * every bulk semaphore has ``E == R == 0`` — each batch promise
+          was fulfilled or reneged — and ``C`` below the borrow guard;
+        * per size class, ``C`` equals the total free-block count over
+          the class's live (non-retired) bins;
+        * per arena, the bin semaphore's ``C`` equals the number of free
+          bin slots across the arena's listed chunks.
+
+        Tolerates pending deferred reclamation: retired bins and
+        unlinked retiring chunks are excluded from both sides of each
+        ledger by construction.
+        """
+        from ..sync.bulk_semaphore import C_GUARD
+
+        for arena in self.arenas:
+            free_blocks = [0] * len(arena.classes)
+            free_slots = 0
+            for chunk in arena.chunks.host_items():
+                magic = self.mem.load_word(chunk + CH_MAGIC_OFF)
+                assert magic == CHUNK_MAGIC, (
+                    f"arena {arena.index}: listed chunk {chunk:#x} has bad "
+                    f"magic {magic:#x}"
+                )
+                bitmap = self.mem.load_word(chunk + CH_BITMAP_OFF)
+                for b in range(2, self.cfg.bins_per_chunk):
+                    if not bitmap & (1 << b):
+                        free_slots += 1
+                        continue
+                    info = self.binops.host_summary(
+                        self.mem, chunk + b * self.cfg.bin_size
+                    )
+                    if info["count"] >= RETIRED:
+                        continue  # capacity already claimed by retirement
+                    free_blocks[self.cfg.class_index(info["size"])] += info["count"]
+            c, e, r = arena.bin_sem.counters
+            assert e == 0 and r == 0, (
+                f"arena {arena.index} bin_sem: E={e} R={r} at quiescence "
+                "(a batch promise was neither fulfilled nor reneged)"
+            )
+            assert c < C_GUARD, f"arena {arena.index} bin_sem: C={c} borrowed"
+            assert c == free_slots, (
+                f"arena {arena.index} bin_sem: C={c} but {free_slots} free "
+                "bin slots in listed chunks"
+            )
+            for sc, expect in zip(arena.classes, free_blocks):
+                c, e, r = sc.sem.counters
+                assert e == 0 and r == 0, (
+                    f"arena {arena.index} class {sc.size}: E={e} R={r} at "
+                    "quiescence (a batch promise was neither fulfilled nor "
+                    "reneged)"
+                )
+                assert c < C_GUARD, (
+                    f"arena {arena.index} class {sc.size}: C={c} borrowed"
+                )
+                assert c == expect, (
+                    f"arena {arena.index} class {sc.size}: sem C={c} but "
+                    f"{expect} free blocks in live bins"
+                )
+
     def host_drain_reclamation(self) -> int:
         """Run all pending RCU callbacks host-side (quiescent only)."""
         n = 0

@@ -181,11 +181,16 @@ class Scheduler:
         seed: int = 0,
         track_contention: bool = False,
         tracer: Optional[Tracer] = None,
+        dispatch_jitter: int = 0,
     ) -> None:
         self.memory = memory
         self.device = device
         self.cost_model = cost_model
         self.seed = seed
+        # Extra per-thread start-time jitter (cycles).  Schedule fuzzing
+        # (repro.verify) sweeps this to perturb which interleavings a
+        # given seed explores; 0 keeps the historical dispatch pattern.
+        self.dispatch_jitter = dispatch_jitter
         self._rng = random.Random(seed)
         self._threads: List[_Thread] = []
         self._blocks: List[_Block] = []
@@ -292,11 +297,14 @@ class Scheduler:
         start = t + self.cost_model.block_dispatch
         if self.tracer is not None:
             self.tracer.block_dispatched(blk, start, self._sm_resident[blk.sm])
+        extra = self.dispatch_jitter
         for tid in blk.tids:
             th = self._threads[tid]
             # Stagger warps slightly so launches do not start in perfect
             # lockstep; deterministic given the seed.
             jitter = (th.ctx.tid_in_block // warp_size) * 2 + self._rng.randrange(4)
+            if extra:
+                jitter += self._rng.randrange(extra)
             th.clock = start + jitter
             self._push(th.clock, tid)
 
@@ -327,6 +335,9 @@ class Scheduler:
         word_avail = self._word_avail
         op_counts = self._op_counts
         tracer = self.tracer
+        # Optional per-memory-op verification hook (None on the plain
+        # Tracer; RaceChecker and friends override it with a method).
+        mem_hook = tracer.mem_op if tracer is not None else None
         atomic_service = cm.atomic_service
         atomic_latency = cm.atomic_latency
         load_latency = cm.load_latency
@@ -403,6 +414,8 @@ class Scheduler:
                 th.pending = None
                 if tracer is not None:
                     tracer.op_executed(th, code, t, resume_at - t)
+                    if mem_hook is not None:
+                        mem_hook(th, op, t, result)
             else:
                 result = th.inbox
                 th.inbox = None

@@ -101,6 +101,13 @@ class Tracer:
         aggregates are unaffected.
     """
 
+    #: Per-memory-op verification hook.  ``None`` on the base tracer so
+    #: the scheduler's hot loop skips the call entirely; subclasses that
+    #: need word-level visibility (``repro.verify.RaceChecker``) override
+    #: it with a method ``mem_op(th, op, t, result)`` receiving the full
+    #: op tuple (opcode, byte address, operands) and the op's result.
+    mem_op = None
+
     def __init__(self, timeline: bool = True,
                  max_timeline_events: int = 500_000) -> None:
         self.timeline = timeline
@@ -272,8 +279,13 @@ class Tracer:
         """A collective acquire converged with ``width`` participants."""
         self.collective_width.add(width)
 
-    def rcu_grace_period(self, ctx, t_flip: int, t_drained: int) -> None:
-        """A full RCU barrier's grace period: epoch flip to reader drain."""
+    def rcu_grace_period(self, ctx, t_flip: int, t_drained: int,
+                         domain=None) -> None:
+        """A full RCU barrier's grace period: epoch flip to reader drain.
+
+        ``domain`` identifies the :class:`~repro.sync.rcu.RCU` instance;
+        verification subclasses use it to scope deferred-reclamation
+        quarantines per domain."""
         self.rcu_full += 1
         self.rcu_grace.append(t_drained - t_flip)
         if self.timeline:
@@ -281,6 +293,17 @@ class Tracer:
                         "ts": t_flip + self._offset,
                         "dur": t_drained - t_flip,
                         "pid": ctx.sm, "tid": ctx.tid})
+
+    # ------------------------------------------------------------------
+    # List / reclamation attach points (no-ops here; RaceChecker uses
+    # them to track RCU quarantines)
+    # ------------------------------------------------------------------
+    def list_removed(self, ctx, dlist, node: int) -> None:
+        """``node`` is about to be unlinked from ``dlist`` (writer lock
+        held by the caller)."""
+
+    def list_inserted(self, ctx, dlist, node: int) -> None:
+        """``node`` is about to be (re-)linked into ``dlist``."""
 
     def rcu_delegation(self, ctx) -> None:
         """A conditional RCU barrier returned immediately (delegated)."""

@@ -130,7 +130,7 @@ class RCU:
                 backoff <<= 1
         if tr is not None:
             # grace-period latency: epoch flip -> previous epoch drained
-            tr.rcu_grace_period(ctx, t_flip, tr.now(ctx))
+            tr.rcu_grace_period(ctx, t_flip, tr.now(ctx), domain=self)
         # Run every callback enqueued before our flip (including ones
         # delegated by conditional barriers).
         to_run = self._callbacks[:n_cbs]

@@ -1,0 +1,42 @@
+"""Deterministic concurrency verification for the simulator.
+
+The simulator executes device code in virtual-time order, so every run
+is a *schedule* fully determined by ``(seed, perturbation)`` — the
+scheduler seed plus a small set of cost-model/dispatch knobs that bend
+which interleavings the seed explores.  This package turns that
+determinism into a verification workflow:
+
+* **Schedule fuzzing** (:mod:`.runner`): sweep seeds x perturbations
+  over allocator torture scenarios, validating structural and
+  semaphore-accounting invariants plus leak accounting at quiescent
+  phase checkpoints.
+* **Race detection** (:mod:`.race`): a :class:`~repro.sim.trace.Tracer`
+  subclass that watches every memory op for protocol violations —
+  plain stores clobbering held node locks, lock words released by
+  non-owners, RCU-unlinked nodes written before their grace period.
+* **Replay + shrink** (:mod:`.cli`, :mod:`.shrink`): every failure
+  reports a ``scenario:seed:perturbation`` triple replayable with
+  ``python -m repro verify --replay``, and the perturbation set can be
+  bisected to a minimal reproducer.
+
+Entry point: ``python -m repro verify`` (see ``--help``).
+"""
+
+from .perturbation import DEFAULT_DECK, SMOKE_DECK, Perturbation
+from .race import RaceChecker, RaceFinding
+from .runner import CaseResult, CaseSpec, SCENARIOS, run_case, sweep
+from .shrink import shrink_case
+
+__all__ = [
+    "DEFAULT_DECK",
+    "SMOKE_DECK",
+    "Perturbation",
+    "RaceChecker",
+    "RaceFinding",
+    "CaseResult",
+    "CaseSpec",
+    "SCENARIOS",
+    "run_case",
+    "sweep",
+    "shrink_case",
+]

@@ -1,0 +1,126 @@
+"""``python -m repro verify`` — the concurrency-verification CLI.
+
+Usage::
+
+    python -m repro verify                    # default sweep
+    python -m repro verify --smoke            # reduced CI sweep
+    python -m repro verify --seeds 8          # more seeds
+    python -m repro verify --scenario churn   # restrict scenarios
+    python -m repro verify --replay 'storm:3:atomic_latency=4,jitter=512'
+    python -m repro verify --replay ... --shrink
+
+The sweep runs every scenario under every (seed, perturbation) pair
+with the race checker attached and invariant/leak checkpoints enabled.
+Each failure prints a replay triple; ``--replay`` re-executes exactly
+that schedule, and ``--shrink`` bisects the perturbation set down to a
+minimal reproducer.  Exit status is 0 iff every case passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .perturbation import DEFAULT_DECK, SMOKE_DECK
+from .runner import SCENARIOS, CaseResult, CaseSpec, sweep, run_case
+from .shrink import shrink_case
+
+
+def _report_failures(failures: List[CaseResult], do_shrink: bool) -> None:
+    print(f"\n{len(failures)} failing case(s):")
+    for res in failures:
+        print(res.describe())
+        print(f"  replay: python -m repro verify --replay '{res.spec.replay}'")
+    if do_shrink and failures:
+        first = failures[0]
+        if first.spec.perturbation:
+            print(f"\nshrinking {first.spec.replay} ...")
+            minimal = shrink_case(first.spec, log=print)
+            print(f"minimal reproducer: python -m repro verify "
+                  f"--replay '{minimal.replay}'")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify",
+        description="Deterministic concurrency verification: schedule "
+                    "fuzzing over allocator torture scenarios with race "
+                    "detection and invariant checkpoints.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=4, metavar="N",
+        help="number of scheduler seeds to sweep (default 4)",
+    )
+    parser.add_argument(
+        "--seed-start", type=int, default=0, metavar="K",
+        help="first seed of the sweep (default 0)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced perturbation deck and 2 seeds (CI smoke budget)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", choices=sorted(SCENARIOS),
+        metavar="NAME", default=None,
+        help=f"restrict to a scenario (repeatable); "
+             f"default all: {', '.join(sorted(SCENARIOS))}",
+    )
+    parser.add_argument(
+        "--replay", metavar="SPEC", default=None,
+        help="replay one failing case: 'scenario:seed:perturbation' "
+             "(as printed by a failing sweep)",
+    )
+    parser.add_argument(
+        "--shrink", action="store_true",
+        help="after a failure, bisect the perturbation set to a minimal "
+             "reproducer",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop the sweep at the first failing case",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    if args.replay is not None:
+        try:
+            spec = CaseSpec.parse(args.replay)
+        except ValueError as e:
+            parser.error(str(e))
+        print(f"replaying {spec.replay} ...")
+        res = run_case(spec)
+        print(res.describe())
+        if res.ok:
+            print(f"({time.time() - t0:.1f}s)")
+            return 0
+        _report_failures([res], args.shrink)
+        print(f"({time.time() - t0:.1f}s)")
+        return 1
+
+    if args.smoke:
+        deck = SMOKE_DECK
+        n_seeds = min(args.seeds, 2) if args.seeds != 4 else 2
+    else:
+        deck = DEFAULT_DECK
+        n_seeds = args.seeds
+    seeds = range(args.seed_start, args.seed_start + n_seeds)
+    names = args.scenario or sorted(SCENARIOS)
+    n_cases = len(seeds) * len(deck) * len(names)
+    print(f"verify: sweeping {len(seeds)} seed(s) x {len(deck)} "
+          f"perturbation(s) x {len(names)} scenario(s) = {n_cases} cases")
+    results = sweep(seeds, deck=deck, scenarios=names,
+                    fail_fast=args.fail_fast, log=print)
+    failures = [r for r in results if not r.ok]
+    elapsed = time.time() - t0
+    if not failures:
+        print(f"\nall {len(results)} cases passed ({elapsed:.1f}s)")
+        return 0
+    _report_failures(failures, args.shrink)
+    print(f"({elapsed:.1f}s)")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro verify is the entry
+    sys.exit(main())

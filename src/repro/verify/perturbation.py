@@ -1,0 +1,150 @@
+"""Schedule perturbations: deterministic knobs over the cost model.
+
+A :class:`Perturbation` is a frozen set of ``(knob, value)`` pairs.
+Cost-model knobs are *multipliers* applied to the corresponding
+:class:`~repro.sim.cost_model.CostModel` field; the special ``jitter``
+knob is an *absolute* bound (cycles) passed to the scheduler's
+``dispatch_jitter``.  Stretching latencies relative to each other moves
+every inter-thread timing relationship, so a fixed seed explores a
+different interleaving under each perturbation — that, plus the seed
+sweep, is the fuzzing dimension of :mod:`repro.verify`.
+
+Perturbations serialize to a stable spec string
+(``"atomic_latency=4,jitter=256"``) so a failure can be replayed
+exactly: ``python -m repro verify --replay scenario:seed:spec``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Tuple
+
+from ..sim.cost_model import CostModel
+
+#: cost-model fields a perturbation may scale
+COST_KNOBS = (
+    "load_latency",
+    "store_latency",
+    "atomic_latency",
+    "atomic_service",
+    "step_cost",
+    "yield_cost",
+    "barrier_cost",
+    "warp_conv_cost",
+    "block_dispatch",
+)
+
+#: absolute dispatch-jitter knob (cycles, not a multiplier)
+JITTER_KNOB = "jitter"
+
+_VALID = frozenset(COST_KNOBS) | {JITTER_KNOB}
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """An immutable, canonically-ordered set of ``(knob, value)`` pairs."""
+
+    items: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, value in self.items:
+            if name not in _VALID:
+                raise ValueError(f"unknown perturbation knob {name!r}")
+            if name in seen:
+                raise ValueError(f"duplicate perturbation knob {name!r}")
+            if value <= 0:
+                raise ValueError(f"{name}: perturbation values must be > 0")
+            seen.add(name)
+        object.__setattr__(self, "items", tuple(sorted(self.items)))
+
+    # ------------------------------------------------------------------
+    # spec string (the replayable wire format)
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> str:
+        """Canonical ``knob=value,knob=value`` string (empty = baseline)."""
+        return ",".join(f"{n}={_fmt(v)}" for n, v in self.items)
+
+    @classmethod
+    def parse(cls, spec: str) -> "Perturbation":
+        """Inverse of :attr:`spec`; accepts the empty string."""
+        spec = spec.strip()
+        if not spec:
+            return cls()
+        items = []
+        for part in spec.split(","):
+            name, _, value = part.partition("=")
+            if not _:
+                raise ValueError(f"bad perturbation item {part!r} (want knob=value)")
+            items.append((name.strip(), float(value)))
+        return cls(tuple(items))
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(self, base: CostModel) -> Tuple[CostModel, int]:
+        """Resolve against ``base``; returns ``(cost_model, dispatch_jitter)``.
+
+        Multiplied latencies are rounded and floored at 1 cycle so a
+        shrinking perturbation can never zero out a cost the scheduler
+        divides by.
+        """
+        changes = {}
+        jitter = 0
+        for name, value in self.items:
+            if name == JITTER_KNOB:
+                jitter = int(value)
+            else:
+                changes[name] = max(1, int(round(getattr(base, name) * value)))
+        return (replace(base, **changes) if changes else base), jitter
+
+    # ------------------------------------------------------------------
+    # shrinking support
+    # ------------------------------------------------------------------
+    def without(self, name: str) -> "Perturbation":
+        """A copy with the ``name`` knob removed."""
+        return Perturbation(tuple((n, v) for n, v in self.items if n != name))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    def __str__(self) -> str:
+        return self.spec or "<baseline>"
+
+
+def deck(specs: Iterable[str]) -> Tuple[Perturbation, ...]:
+    """Build a perturbation deck from spec strings."""
+    return tuple(Perturbation.parse(s) for s in specs)
+
+
+#: The default sweep deck.  Entries are chosen to bend the timing
+#: relationships the allocator's protocols depend on: atomic service
+#: pressure (semaphore/lock words), load/store skew (plain accesses
+#: racing atomics), cheap yields (hot spin loops re-polling faster than
+#: publishes land), and dispatch jitter (desynchronized block starts).
+DEFAULT_DECK: Tuple[Perturbation, ...] = deck([
+    "",                                   # baseline schedule
+    "atomic_latency=4",
+    "atomic_service=4",
+    "load_latency=4,store_latency=0.25",
+    "store_latency=8",
+    "yield_cost=0.25",
+    "jitter=256",
+    "atomic_latency=4,jitter=512",
+])
+
+#: Reduced deck for CI smoke runs (still crosses every knob family).
+SMOKE_DECK: Tuple[Perturbation, ...] = deck([
+    "",
+    "atomic_service=4",
+    "load_latency=4,store_latency=0.25",
+    "jitter=256",
+])

@@ -1,0 +1,276 @@
+"""Schedule-fuzzing runner: scenarios, cases, and the sweep loop.
+
+A *scenario* is an allocator torture workload with quiescent phase
+checkpoints; a *case* is one scenario executed under one
+``(seed, perturbation)`` pair with a :class:`~repro.verify.race.RaceChecker`
+attached.  A case fails when
+
+* a simulator or allocator exception escapes (deadlock, heap
+  corruption, double free, ...),
+* a checkpoint invariant fails (TBuddy tree shape, bulk-semaphore
+  accounting ``E == R == 0`` / supply ledgers, list symmetry, leak
+  accounting ``host_used_bytes() == 0`` after a full-free phase), or
+* the race checker reports any finding.
+
+Every failure carries its replay triple ``scenario:seed:perturbation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.allocator import ThroughputAllocator
+from ..core.config import AllocatorConfig
+from ..bench import workloads
+from ..sim import ops
+from ..sim.cost_model import DEFAULT_COST_MODEL
+from ..sim.device import GPUDevice
+from ..sim.errors import SimError
+from ..sim.memory import DeviceMemory
+from ..sim.scheduler import Scheduler
+from .perturbation import DEFAULT_DECK, Perturbation
+from .race import RaceChecker, RaceFinding
+
+_NULL = DeviceMemory.NULL
+
+#: livelock guard per case (scheduler events)
+EVENT_BUDGET = 30_000_000
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One replayable verification case."""
+
+    scenario: str
+    seed: int
+    perturbation: Perturbation = Perturbation()
+
+    @property
+    def replay(self) -> str:
+        """``scenario:seed:perturbation`` — the ``--replay`` argument."""
+        return f"{self.scenario}:{self.seed}:{self.perturbation.spec}"
+
+    @classmethod
+    def parse(cls, replay: str) -> "CaseSpec":
+        parts = replay.split(":", 2)
+        if len(parts) < 2:
+            raise ValueError(
+                f"bad replay spec {replay!r} (want scenario:seed[:perturbation])"
+            )
+        scenario, seed = parts[0], int(parts[1])
+        pert = Perturbation.parse(parts[2]) if len(parts) == 3 else Perturbation()
+        return cls(scenario, seed, pert)
+
+    def __str__(self) -> str:
+        return self.replay
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one executed case."""
+
+    spec: CaseSpec
+    error: Optional[str] = None
+    findings: List[RaceFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.findings
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"PASS {self.spec}"
+        lines = [f"FAIL {self.spec}"]
+        if self.error:
+            lines.append(f"  error: {self.error}")
+        lines += [f"  {f}" for f in self.findings]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# scenario harness
+# ----------------------------------------------------------------------
+class _Harness:
+    """Allocator + scheduler wired to one case's knobs and checker."""
+
+    def __init__(self, seed: int, perturbation: Perturbation,
+                 checker: Optional[RaceChecker], pool_order: int,
+                 num_sms: int = 4, mem_bytes: int = 16 << 20):
+        cost, jitter = perturbation.apply(DEFAULT_COST_MODEL)
+        self.mem = DeviceMemory(mem_bytes)
+        self.device = GPUDevice(num_sms=num_sms, max_resident_blocks=2)
+        self.cfg = AllocatorConfig(pool_order=pool_order)
+        self.alloc = ThroughputAllocator(self.mem, self.device, self.cfg)
+        self.sched = Scheduler(
+            self.mem, self.device, cost, seed=seed,
+            tracer=checker, dispatch_jitter=jitter,
+        )
+        self.checker = checker
+        if checker is not None:
+            checker.watch_allocator(self.alloc)
+
+    def run(self) -> None:
+        self.sched.run(max_events=EVENT_BUDGET)
+
+    def checkpoint(self, expect_leak_free: bool = False) -> None:
+        """Quiescent phase checkpoint: full invariant validation plus
+        (optionally) leak accounting, then checker reset."""
+        self.alloc.host_checkpoint(expect_leak_free=expect_leak_free)
+        if self.checker is not None:
+            self.checker.quiesce()
+
+
+def _free_by_tid(alloc, ptr_lists, base: int):
+    """Kernel: thread ``tid`` frees every pointer in
+    ``ptr_lists[tid - base]`` (tids are global across the scheduler's
+    launches, so the follow-up launch starts at ``base``)."""
+
+    def kernel(ctx):
+        for p in ptr_lists[ctx.tid - base]:
+            if p != _NULL:
+                yield from alloc.free(ctx, p)
+
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def _storm(h: _Harness, grid: int = 2, block: int = 32,
+           sizes: Sequence[int] = (16, 64, 256, 1024, 8192)) -> None:
+    """Malloc storm -> checkpoint -> free storm -> leak-free checkpoint.
+
+    Sizes mix UAlloc classes with one TBuddy-routed coarse size so both
+    allocators and the chunk path are live concurrently.  NULL results
+    (pool pressure) are recorded and skipped by the free phase.
+    """
+    alloc = h.alloc
+
+    def malloc_kernel(ctx):
+        got = []
+        for i in range(len(sizes)):
+            size = sizes[(ctx.tid + i) % len(sizes)]
+            p = yield from alloc.malloc(ctx, size)
+            got.append(p)
+        return got
+
+    handle = h.sched.launch(malloc_kernel, grid=grid, block=block)
+    h.run()
+    h.checkpoint()
+    ptrs = handle.results
+    h.sched.launch(_free_by_tid(alloc, ptrs, grid * block),
+                   grid=grid, block=block)
+    h.run()
+    h.checkpoint(expect_leak_free=True)
+
+
+def _churn(h: _Harness, grid: int = 2, block: int = 32, iters: int = 4) -> None:
+    """Steady-state malloc/hold/free churn (bin fill/drain, retirement,
+    merge traffic), ending leak-free by construction."""
+    sizes = (8, 32, 128, 512)
+    kernel, _ = workloads.churn(h.alloc, sizes, iters, hold_cycles=400)
+    h.sched.launch(kernel, grid=grid, block=block)
+    h.run()
+    h.checkpoint(expect_leak_free=True)
+
+
+def _producer_consumer(h: _Harness, grid: int = 2, block: int = 32,
+                       iters: int = 3) -> None:
+    """Cross-arena free traffic: producers on some SMs allocate and
+    publish, consumers on others free (the paper's free-anywhere path)."""
+    kernel, mailbox = workloads.producer_consumer(
+        h.alloc, size=48, slots=8, mem=h.mem, iters=iters
+    )
+    h.sched.launch(kernel, grid=grid, block=block)
+    h.run()
+    for i in range(8):
+        slot = h.mem.load_word(mailbox + 8 * i)
+        assert slot == 0, f"mailbox slot {i} still holds {slot:#x} after the run"
+    h.checkpoint(expect_leak_free=True)
+
+
+def _storm_oom(h: _Harness, grid: int = 2, block: int = 32) -> None:
+    """Malloc storm against a deliberately undersized pool, driving the
+    batch-promise failure paths (``renege``) in both UAlloc's chunk/bin
+    stages and TBuddy's split ascent.  The final checkpoint's
+    ``E == R == 0`` accounting proves every failed promise was undone."""
+    alloc = h.alloc
+    sizes = (1024, 1024, 8192)
+
+    def malloc_kernel(ctx):
+        got = []
+        for i in range(len(sizes)):
+            p = yield from alloc.malloc(ctx, sizes[(ctx.tid + i) % len(sizes)])
+            got.append(p)
+        return got
+
+    handle = h.sched.launch(malloc_kernel, grid=grid, block=block)
+    h.run()
+    h.checkpoint()
+    assert alloc.stats.n_malloc_failed > 0, (
+        "storm_oom did not exhaust the pool; shrink pool_order or grow the "
+        "request mix so the renege paths are actually exercised"
+    )
+    h.sched.launch(_free_by_tid(alloc, handle.results, grid * block),
+                   grid=grid, block=block)
+    h.run()
+    h.checkpoint(expect_leak_free=True)
+
+
+#: scenario name -> (builder kwargs for _Harness, scenario function)
+SCENARIOS: Dict[str, tuple] = {
+    "storm": ({"pool_order": 9}, _storm),
+    "churn": ({"pool_order": 8}, _churn),
+    "producer_consumer": ({"pool_order": 8}, _producer_consumer),
+    "storm_oom": ({"pool_order": 7}, _storm_oom),
+}
+
+
+# ----------------------------------------------------------------------
+# case execution + sweep
+# ----------------------------------------------------------------------
+def run_case(spec: CaseSpec, check_races: bool = True,
+             allocator_hook: Optional[Callable] = None) -> CaseResult:
+    """Execute one case; never raises for verification failures.
+
+    ``allocator_hook(harness)`` runs after setup — mutation tests use it
+    to sabotage the allocator under an otherwise identical case.
+    """
+    if spec.scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {spec.scenario!r}; "
+            f"choose from {', '.join(sorted(SCENARIOS))}"
+        )
+    harness_kwargs, scenario = SCENARIOS[spec.scenario]
+    checker = RaceChecker() if check_races else None
+    result = CaseResult(spec)
+    try:
+        h = _Harness(spec.seed, spec.perturbation, checker, **harness_kwargs)
+        if allocator_hook is not None:
+            allocator_hook(h)
+        scenario(h)
+    except (SimError, AssertionError) as exc:
+        result.error = f"{type(exc).__name__}: {exc}"
+    if checker is not None:
+        result.findings = list(checker.findings)
+    return result
+
+
+def sweep(seeds: Sequence[int], deck: Sequence[Perturbation] = DEFAULT_DECK,
+          scenarios: Optional[Sequence[str]] = None,
+          fail_fast: bool = False,
+          log: Optional[Callable[[str], None]] = None) -> List[CaseResult]:
+    """Run the full seeds x deck x scenarios grid; returns all results."""
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    results: List[CaseResult] = []
+    for seed in seeds:
+        for pert in deck:
+            for name in names:
+                res = run_case(CaseSpec(name, seed, pert))
+                results.append(res)
+                if log is not None:
+                    log(res.describe())
+                if fail_fast and not res.ok:
+                    return results
+    return results

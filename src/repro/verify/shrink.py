@@ -1,0 +1,46 @@
+"""Failure shrinking: reduce a perturbation set to a minimal reproducer.
+
+A failing case carries a perturbation of up to a handful of knobs; for
+debugging, the interesting question is which knobs *matter*.  The
+shrinker greedily re-runs the case with each knob removed (ddmin over a
+set this small degenerates to greedy subset removal) and keeps any
+reduction that still fails, iterating to a fixpoint.  Determinism makes
+this sound: the same ``(seed, perturbation)`` is the same schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from .runner import CaseResult, CaseSpec, run_case
+
+
+def shrink_case(
+    spec: CaseSpec,
+    rerun: Optional[Callable[[CaseSpec], CaseResult]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> CaseSpec:
+    """Return ``spec`` with a 1-minimal perturbation (removing any single
+    remaining knob makes the failure disappear).
+
+    ``rerun`` defaults to :func:`~repro.verify.runner.run_case`; tests
+    inject counting/stub runners through it.
+    """
+    if rerun is None:
+        rerun = run_case
+    current = spec
+    progress = True
+    while progress and current.perturbation:
+        progress = False
+        for name, _ in current.perturbation.items:
+            candidate = replace(
+                current, perturbation=current.perturbation.without(name)
+            )
+            if not rerun(candidate).ok:
+                if log is not None:
+                    log(f"shrink: dropped {name} -> {candidate.replay}")
+                current = candidate
+                progress = True
+                break
+    return current

@@ -155,3 +155,25 @@ class TestWorkloads:
         alloc.ualloc.host_gc()
         alloc.host_check()
         assert alloc.tbuddy.host_free_bytes() == alloc.cfg.pool_size
+
+    def test_producer_consumer_survives_malloc_failure(self):
+        """Regression: a producer whose malloc returned NULL used to
+        skip its publish, leaving the paired consumer spinning on an
+        empty mailbox slot forever (DeadlockError under an undersized
+        pool).  Producers now publish a poison token instead."""
+        from repro.core import AllocatorConfig, ThroughputAllocator
+
+        device = GPUDevice(num_sms=2)
+        mem = DeviceMemory(16 << 20)
+        alloc = ThroughputAllocator(mem, device,
+                                    AllocatorConfig(pool_order=6))
+        kernel, mailbox = workloads.producer_consumer(alloc, 1024, 8, mem, 4)
+        s = Scheduler(mem, device, seed=3)
+        s.launch(kernel, 4, 32)
+        s.run(max_events=20_000_000)  # raised DeadlockError before the fix
+        assert alloc.stats.n_malloc_failed > 0, (
+            "pool was not undersized enough to exercise the NULL path"
+        )
+        alloc.ualloc.host_gc()
+        alloc.host_check()
+        assert alloc.host_used_bytes() == 0

@@ -1,0 +1,52 @@
+"""Cross-arena free-traffic stress.
+
+Producers and consumers land on different SMs, so most frees execute
+against a bin owned by another arena — the paper's free-anywhere path
+(remote bitmap release, deferred bin relink, RCU reclamation).  Each
+seed is a different schedule; every run must end leak-free with all
+allocator invariants (tree shape, semaphore ledgers, list symmetry)
+intact.
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.core import AllocatorConfig, ThroughputAllocator
+from repro.sim import DeviceMemory, GPUDevice, Scheduler
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_producer_consumer_cross_arena_leak_free(seed):
+    device = GPUDevice(num_sms=4, max_resident_blocks=2)
+    mem = DeviceMemory(16 << 20)
+    alloc = ThroughputAllocator(mem, device, AllocatorConfig(pool_order=8))
+    kernel, mailbox = workloads.producer_consumer(
+        alloc, size=48, slots=8, mem=mem, iters=4
+    )
+    sched = Scheduler(mem, device, seed=seed)
+    sched.launch(kernel, grid=2, block=32)
+    sched.run(max_events=20_000_000)
+
+    # every published token was consumed
+    for i in range(8):
+        assert mem.load_word(mailbox + 8 * i) == 0
+
+    alloc.ualloc.host_gc()
+    alloc.host_check()
+    assert alloc.host_used_bytes() == 0
+    assert alloc.tbuddy.host_free_bytes() == alloc.cfg.pool_size
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_checkpoint_helper_validates_cross_arena_quiescence(seed):
+    """host_checkpoint bundles gc + invariants + leak accounting."""
+    device = GPUDevice(num_sms=4, max_resident_blocks=2)
+    mem = DeviceMemory(16 << 20)
+    alloc = ThroughputAllocator(mem, device, AllocatorConfig(pool_order=8))
+    kernel, _ = workloads.producer_consumer(
+        alloc, size=256, slots=4, mem=mem, iters=3
+    )
+    sched = Scheduler(mem, device, seed=seed)
+    sched.launch(kernel, grid=2, block=32)
+    sched.run(max_events=20_000_000)
+    alloc.host_checkpoint(expect_leak_free=True)

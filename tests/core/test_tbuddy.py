@@ -9,6 +9,7 @@ from repro.core.tbuddy import (
     ALLOC_BIT,
     AVAILABLE,
     BUSY,
+    MAX_ORDER,
     DoubleFree,
     InvalidFree,
     TBuddy,
@@ -159,6 +160,39 @@ class TestNodeMath:
         mem, b = make(max_order=6)
         for order, sem in enumerate(b.sems):
             assert sem.value == (1 if order == 6 else 0)
+
+
+class TestMaxOrderBoundary:
+    """The tree height is capped by the bulk semaphore's borrow guard:
+    a fully split pool posts ``2**max_order`` credits to the order-0
+    semaphore, which must stay strictly below ``C_GUARD``.  Regression
+    for the old bound of 21, where that count *equals* the guard value:
+    ``pack`` rejects it and the F&A triage misreads a legitimate count
+    as a transient borrow."""
+
+    def test_bound_tracks_semaphore_field_width(self):
+        from repro.sync.bulk_semaphore import C_GUARD
+
+        assert MAX_ORDER == C_GUARD.bit_length() - 2
+        assert MAX_ORDER == 20
+        # order-0 credits of a fully split max-height pool stay under
+        # the guard
+        assert (1 << MAX_ORDER) < C_GUARD
+
+    def test_boundary_order_constructs_and_allocates(self):
+        # page_size=8 keeps the 2**20-page pool's address range small;
+        # the tree (2 M nodes) is what this actually stresses
+        mem = DeviceMemory(64 << 20)
+        b = TBuddy(mem, 0, 8, MAX_ORDER)
+        a = drive(mem, b.alloc(host_ctx(), MAX_ORDER))  # whole pool
+        assert a == 0
+        drive(mem, b.free(host_ctx(), a))
+        assert b.host_free_bytes() == b.pool_size
+
+    def test_order_past_boundary_rejected(self):
+        mem = DeviceMemory(1 << 20)
+        with pytest.raises(ValueError, match=r"1\.\.20"):
+            TBuddy(mem, 0, 8, MAX_ORDER + 1)
 
 
 @st.composite

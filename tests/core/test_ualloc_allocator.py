@@ -119,6 +119,21 @@ class TestSequentialLifecycle:
             # address inside the pool, but not a valid block
             drive(mem, alloc.free(host_ctx(), alloc.pool_base + 4096 + 64 + 1))
 
+    def test_free_outside_pool_detected(self):
+        """Regression: an out-of-pool address used to fall through to
+        alignment-based routing and corrupt whichever structure the
+        address happened to hit."""
+        from repro.core.tbuddy import InvalidFree
+
+        mem, device, alloc = make()
+        below = alloc.pool_base - alloc.cfg.page_size
+        beyond = alloc.pool_base + alloc.cfg.pool_size
+        for addr in (below, beyond, beyond + 12345):
+            with pytest.raises(InvalidFree, match=f"{addr:#x}"):
+                drive(mem, alloc.free(host_ctx(), addr))
+        # a failed free is not counted
+        assert alloc.stats.n_free == 0
+
     def test_degenerate_2k_class(self):
         """Paper: a bin cannot hold two 2 KB blocks."""
         mem, device, alloc = make()

@@ -1,0 +1,100 @@
+"""Mutation tests: prove the verification subsystem has teeth.
+
+Each test re-introduces a *known-bad* variant of an allocator protocol
+and asserts the default-budget sweep catches it deterministically:
+
+* **Unlocked merge store** — TBuddy's free/merge path publishing BUSY
+  with a plain store instead of the locked ``_transition``.  A stale
+  DFS can transiently lock the node, so the store clobbers a held lock;
+  the race checker flags it on the storm scenario's early seeds.
+
+* **Skipped renege** — a thread whose batch promise fails must renege
+  its expectation (``E -= k``); dropping that leaves waiters reserved
+  against supply that will never arrive.  Under the OOM storm this
+  manifests as a deadlock (threads spin past the event budget) or,
+  on schedules that drain, as the ``E == 0`` checkpoint assertion.
+
+Both also run the unmutated control case to show the failure signal
+comes from the mutation, not the harness.
+"""
+
+import pytest
+
+from repro.core import tbuddy as tb_mod
+from repro.sim import ops
+from repro.sync.bulk_semaphore import BulkSemaphore
+from repro.verify import CaseSpec, run_case
+from repro.verify import runner as runner_mod
+
+#: seeds the sweep default (4 seeds) would cover; empirically the
+#: mutations below are caught at the very first ones.
+MUTATION_A_SEEDS = (0, 1)
+
+
+@pytest.fixture
+def unlocked_merge_store(monkeypatch):
+    """Mutation A: free's merge path marks the kept node BUSY with a
+    plain store (no lock, no expect_state check)."""
+    orig = tb_mod.TBuddy._transition
+
+    def broken(self, ctx, node, new_word, expect_state=None):
+        if new_word == tb_mod.BUSY and expect_state is None:
+            yield ops.store(self._naddr(node), new_word)
+            return True
+        res = yield from orig(self, ctx, node, new_word, expect_state)
+        return res
+
+    monkeypatch.setattr(tb_mod.TBuddy, "_transition", broken)
+
+
+@pytest.fixture
+def skipped_renege(monkeypatch):
+    """Mutation B: a failed batch promise never gives back its
+    expectation."""
+
+    def no_renege(self, ctx, k):
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    monkeypatch.setattr(BulkSemaphore, "renege", no_renege)
+    # A deadlocked case only fails once the event budget trips; shrink
+    # the budget (5x headroom over any passing case) to keep this fast.
+    monkeypatch.setattr(runner_mod, "EVENT_BUDGET", 2_000_000)
+
+
+def test_unlocked_merge_store_is_caught(unlocked_merge_store):
+    results = [run_case(CaseSpec("storm", seed))
+               for seed in MUTATION_A_SEEDS]
+    caught = [r for r in results if not r.ok]
+    assert caught, (
+        "race checker missed the unlocked merge store on seeds "
+        f"{MUTATION_A_SEEDS}"
+    )
+    rules = {f.rule for r in caught for f in r.findings}
+    assert rules & {"tree-store-unlocked", "tree-store-clobbers-lock"}, rules
+    # every failure is replayable
+    for r in caught:
+        assert CaseSpec.parse(r.spec.replay) == r.spec
+
+
+def test_storm_control_passes_without_mutation_a():
+    for seed in MUTATION_A_SEEDS:
+        res = run_case(CaseSpec("storm", seed))
+        assert res.ok, res.describe()
+
+
+def test_skipped_renege_is_caught(skipped_renege):
+    res = run_case(CaseSpec("storm_oom", 0))
+    assert not res.ok, "sweep missed the skipped renege"
+    assert res.error is not None
+    # deadlock (waiters spinning on the phantom expectation) or the
+    # quiescent accounting check, depending on the schedule
+    assert ("DeadlockError" in res.error
+            or "renege" in res.error
+            or "E ==" in res.error), res.error
+
+
+def test_storm_oom_control_passes_without_mutation_b(monkeypatch):
+    monkeypatch.setattr(runner_mod, "EVENT_BUDGET", 2_000_000)
+    res = run_case(CaseSpec("storm_oom", 0))
+    assert res.ok, res.describe()

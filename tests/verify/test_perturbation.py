@@ -1,0 +1,109 @@
+"""Perturbation: spec round-trips, canonical ordering, application."""
+
+import pytest
+
+from repro.sim.cost_model import DEFAULT_COST_MODEL
+from repro.verify.perturbation import (
+    COST_KNOBS,
+    DEFAULT_DECK,
+    SMOKE_DECK,
+    Perturbation,
+    deck,
+)
+
+
+class TestSpec:
+    def test_round_trip(self):
+        p = Perturbation.parse("atomic_latency=4,jitter=256")
+        assert p.spec == "atomic_latency=4,jitter=256"
+        assert Perturbation.parse(p.spec) == p
+
+    def test_empty_is_baseline(self):
+        p = Perturbation.parse("")
+        assert not p
+        assert len(p) == 0
+        assert p.spec == ""
+        assert str(p) == "<baseline>"
+
+    def test_canonical_order_is_sorted(self):
+        a = Perturbation.parse("jitter=256,atomic_latency=4")
+        b = Perturbation.parse("atomic_latency=4,jitter=256")
+        assert a == b
+        assert a.spec == "atomic_latency=4,jitter=256"
+
+    def test_fractional_values_round_trip(self):
+        p = Perturbation.parse("store_latency=0.25")
+        assert Perturbation.parse(p.spec) == p
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown.*warp_speed"):
+            Perturbation.parse("warp_speed=9")
+
+    def test_duplicate_knob_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Perturbation.parse("jitter=1,jitter=2")
+
+    def test_non_positive_value_rejected(self):
+        with pytest.raises(ValueError, match="> 0"):
+            Perturbation.parse("jitter=0")
+
+    def test_malformed_item_rejected(self):
+        with pytest.raises(ValueError, match="knob=value"):
+            Perturbation.parse("jitter")
+
+
+class TestApply:
+    def test_baseline_is_identity(self):
+        cost, jitter = Perturbation().apply(DEFAULT_COST_MODEL)
+        assert cost is DEFAULT_COST_MODEL
+        assert jitter == 0
+
+    def test_multiplier_scales_field(self):
+        cost, _ = Perturbation.parse("atomic_latency=4").apply(DEFAULT_COST_MODEL)
+        assert cost.atomic_latency == DEFAULT_COST_MODEL.atomic_latency * 4
+        # untouched fields pass through
+        assert cost.load_latency == DEFAULT_COST_MODEL.load_latency
+
+    def test_jitter_is_absolute_not_multiplier(self):
+        cost, jitter = Perturbation.parse("jitter=256").apply(DEFAULT_COST_MODEL)
+        assert jitter == 256
+        assert cost is DEFAULT_COST_MODEL
+
+    def test_shrunk_cost_floors_at_one_cycle(self):
+        # 0.0001 * anything rounds to 0; the floor keeps it at 1 cycle.
+        cost, _ = Perturbation.parse("store_latency=0.0001").apply(
+            DEFAULT_COST_MODEL
+        )
+        assert cost.store_latency == 1
+
+
+class TestShrinkSupport:
+    def test_without_removes_one_knob(self):
+        p = Perturbation.parse("atomic_latency=4,jitter=512")
+        q = p.without("jitter")
+        assert q.spec == "atomic_latency=4"
+        assert p.spec == "atomic_latency=4,jitter=512"  # immutable
+
+    def test_without_missing_knob_is_noop(self):
+        p = Perturbation.parse("jitter=256")
+        assert p.without("atomic_latency") == p
+
+
+class TestDecks:
+    def test_default_deck_starts_at_baseline(self):
+        assert not DEFAULT_DECK[0]
+
+    def test_smoke_deck_is_subset_sized(self):
+        assert len(SMOKE_DECK) < len(DEFAULT_DECK)
+        assert not SMOKE_DECK[0]
+
+    def test_every_deck_entry_applies_cleanly(self):
+        for pert in DEFAULT_DECK + SMOKE_DECK:
+            cost, jitter = pert.apply(DEFAULT_COST_MODEL)
+            assert jitter >= 0
+            for knob in COST_KNOBS:
+                assert getattr(cost, knob) >= 1
+
+    def test_deck_builder(self):
+        d = deck(["", "jitter=16"])
+        assert len(d) == 2 and not d[0] and d[1].spec == "jitter=16"

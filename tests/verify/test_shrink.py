@@ -1,0 +1,53 @@
+"""Shrinker: greedy knob removal to a 1-minimal failing perturbation."""
+
+from repro.verify import CaseSpec, Perturbation, shrink_case
+from repro.verify.runner import CaseResult
+
+
+def predicate_rerun(fails_when):
+    """A stub runner: the case fails iff ``fails_when(knob_names)``."""
+    calls = []
+
+    def rerun(spec):
+        names = {n for n, _ in spec.perturbation.items}
+        calls.append(names)
+        return CaseResult(spec,
+                          error="boom" if fails_when(names) else None)
+
+    return rerun, calls
+
+
+def test_shrinks_to_single_culprit_knob():
+    spec = CaseSpec("storm", 0, Perturbation.parse(
+        "atomic_latency=4,store_latency=8,jitter=256"))
+    rerun, _ = predicate_rerun(lambda names: "jitter" in names)
+    minimal = shrink_case(spec, rerun=rerun)
+    assert minimal.perturbation.spec == "jitter=256"
+    assert (minimal.scenario, minimal.seed) == ("storm", 0)
+
+
+def test_keeps_interacting_pair():
+    # failure needs both knobs: neither can be removed alone
+    spec = CaseSpec("storm", 0, Perturbation.parse(
+        "atomic_latency=4,jitter=512"))
+    rerun, _ = predicate_rerun(
+        lambda names: {"atomic_latency", "jitter"} <= names)
+    minimal = shrink_case(spec, rerun=rerun)
+    assert minimal.perturbation.spec == "atomic_latency=4,jitter=512"
+
+
+def test_baseline_spec_returns_immediately():
+    spec = CaseSpec("storm", 0)
+    rerun, calls = predicate_rerun(lambda names: True)
+    assert shrink_case(spec, rerun=rerun) == spec
+    assert calls == []  # nothing to remove, nothing re-run
+
+
+def test_logs_each_accepted_reduction():
+    spec = CaseSpec("churn", 2, Perturbation.parse(
+        "atomic_latency=4,jitter=256"))
+    rerun, _ = predicate_rerun(lambda names: "jitter" in names)
+    lines = []
+    minimal = shrink_case(spec, rerun=rerun, log=lines.append)
+    assert minimal.perturbation.spec == "jitter=256"
+    assert any("dropped atomic_latency" in l for l in lines)
