@@ -17,6 +17,11 @@ Usage::
 
     python -m repro verify        # concurrency verification: schedule
         # fuzzing + race detection + replay (see `verify --help`).
+
+    python -m repro perf run      # benchmark suite -> BENCH_*.json artifact
+    python -m repro perf compare  # regression gate over the trajectory
+    python -m repro perf profile  # host hotspots + simulator telemetry
+        # (see `perf --help` and docs in repro.perf)
 """
 
 from __future__ import annotations
@@ -49,6 +54,10 @@ def main(argv=None) -> int:
         from .verify.cli import main as verify_main
 
         return verify_main(list(argv[1:]))
+    if argv and argv[0] == "perf":
+        from .perf.cli import main as perf_main
+
+        return perf_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PPoPP'19 allocator paper's evaluation "

@@ -72,6 +72,15 @@ def si(value: float) -> str:
     return f"{value:.2f}"
 
 
+def signed_pct(frac: float) -> str:
+    """Signed percent for a fraction: 0.123 -> '+12.3%', -0.04 -> '-4.0%'.
+
+    Infinities render as '+inf%'/'-inf%' (a metric appearing from, or
+    collapsing to, zero in the perf delta tables).
+    """
+    return f"{frac:+.1%}"
+
+
 def size_label(nbytes: int) -> str:
     """'8 B', '4 KB', '512 KB' style size labels as in Figure 7."""
     if nbytes >= 1 << 20:

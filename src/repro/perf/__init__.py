@@ -1,0 +1,55 @@
+"""``repro.perf`` — performance benchmark, profiling & regression gate.
+
+The paper's whole argument is throughput, so this repo needs a perf
+story that survives across PRs.  This package provides it:
+
+* :mod:`repro.perf.suite` — a registry of :class:`~repro.perf.suite.BenchCase`
+  entries wrapping the existing fig5/fig6/fig7, shootout, fragmentation
+  and ablation runners behind one interface, each recording **virtual**
+  throughput (simulated cycles via the cost model) and **host
+  wall-clock** (how fast the pure-Python simulator itself runs — the
+  binding constraint on every sweep in this repo).
+* :mod:`repro.perf.artifact` — a versioned, deterministically-serialized
+  JSON schema; ``BENCH_PR<k>.json`` files at the repo root form the perf
+  trajectory, with machine-readable twins next to ``results/*.txt``.
+* :mod:`repro.perf.compare` — loads prior artifacts, computes per-metric
+  deltas with noise-aware tolerances (virtual metrics are deterministic
+  and gated tightly; wall-clock is noisy and gated loosely or not at
+  all), and exits nonzero on regression.
+* :mod:`repro.perf.profile` — cProfile hotspot attribution per case plus
+  tracer-derived hot-word/telemetry stats, so optimization PRs know
+  where to aim.
+
+CLI: ``python -m repro perf run|compare|profile`` (see
+:mod:`repro.perf.cli`).
+"""
+
+from .suite import CASES, BenchCase, CaseRun, SuiteResult, run_case, run_suite
+from .artifact import (
+    SCHEMA,
+    ArtifactError,
+    find_artifacts,
+    load_artifact,
+    suite_to_doc,
+    write_artifact,
+)
+from .compare import Delta, compare_docs, has_regressions, render_deltas
+
+__all__ = [
+    "CASES",
+    "BenchCase",
+    "CaseRun",
+    "SuiteResult",
+    "run_case",
+    "run_suite",
+    "SCHEMA",
+    "ArtifactError",
+    "find_artifacts",
+    "load_artifact",
+    "suite_to_doc",
+    "write_artifact",
+    "Delta",
+    "compare_docs",
+    "has_regressions",
+    "render_deltas",
+]

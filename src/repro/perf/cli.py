@@ -1,0 +1,204 @@
+"""``python -m repro perf`` — run benchmarks, gate regressions, profile.
+
+Usage::
+
+    python -m repro perf run --quick            # CI tier, ~seconds
+    python -m repro perf run --full             # paper-scale, ~minutes
+    python -m repro perf run --quick --case fig5 --case shootout
+    python -m repro perf compare                # latest BENCH_* vs previous
+    python -m repro perf compare --current /tmp/now.json \\
+                                 --baseline BENCH_PR3.json --no-gate-wall
+    python -m repro perf profile                # hotspots for fig5 + shootout
+    python -m repro perf profile --case fig7 --top 20
+
+``run`` writes the trajectory artifact ``BENCH_<label>.json`` at the
+repo root (label defaults to the next free ``PR<k>``) plus per-case
+JSON twins under ``results/``.  ``compare`` exits nonzero on any gated
+regression — wire it into CI after a quick run to gate perf.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..bench.reporting import format_table, si
+from . import artifact, compare, profile as profiling
+from .suite import CASES, run_suite
+
+
+def _cmd_run(args) -> int:
+    root = Path(args.root)
+    tier = "full" if args.full else "quick"
+    label = args.label or artifact.next_label(root)
+    out = Path(args.out) if args.out else root / f"BENCH_{label}.json"
+    suite = run_suite(tier, names=args.case or None, repeats=args.repeats,
+                      progress=print)
+    doc = artifact.suite_to_doc(suite, label)
+    artifact.write_artifact(out, doc)
+    print(f"\nartifact: {out} (schema {artifact.SCHEMA}, tier {tier}, "
+          f"label {label})")
+    if not args.no_results:
+        twins = artifact.write_twins(doc, Path(args.results_dir))
+        print(f"twins: {len(twins)} case file(s) under {args.results_dir}/")
+    rows = []
+    for run in suite.cases:
+        for metric, value in run.metrics.items():
+            rows.append([run.case, metric, si(value)])
+    print("\n" + format_table(["case", "metric", "value"], rows))
+    return 0
+
+
+def _pick_pair(root: Path, current: Optional[str], baseline: Optional[str]):
+    """Resolve the artifact pair: explicit paths beat trajectory order."""
+    history = artifact.find_artifacts(root)
+    if current is None:
+        if not history:
+            raise artifact.ArtifactError(
+                f"no BENCH_*.json found under {root}; run "
+                "`python -m repro perf run` first"
+            )
+        current = history[-1]
+    current = Path(current)
+    if baseline is None:
+        prior = [p for p in history if p.resolve() != current.resolve()]
+        # A one-artifact trajectory gates against itself: zero deltas,
+        # always passes — that's the seed state of the trajectory.
+        baseline = prior[-1] if prior else current
+    return Path(current), Path(baseline)
+
+
+def _cmd_compare(args) -> int:
+    root = Path(args.root)
+    try:
+        cur_path, base_path = _pick_pair(root, args.current, args.baseline)
+        cur = artifact.load_artifact(cur_path)
+        base = artifact.load_artifact(base_path)
+        deltas = compare.compare_docs(
+            cur, base,
+            virtual_tol=args.virtual_tol,
+            wall_tol=args.wall_tol,
+            gate_wall=not args.no_gate_wall,
+        )
+    except (artifact.ArtifactError, compare.CompareError) as e:
+        print(f"perf compare: {e}", file=sys.stderr)
+        return 2
+    print(f"current:  {cur_path}  (label {cur['label']}, tier {cur['tier']})")
+    print(f"baseline: {base_path}  (label {base['label']}, "
+          f"tier {base['tier']})")
+    if base_path.resolve() == cur_path.resolve():
+        print("note: single-artifact trajectory — comparing against itself")
+    gates = (f"virtual ±{args.virtual_tol:.0%}, wall "
+             + ("ungated" if args.no_gate_wall else f"±{args.wall_tol:.0%}"))
+    print(f"tolerances: {gates}\n")
+    print(compare.render_deltas(deltas, only_interesting=args.brief))
+    print(f"\nverdict: {compare.summarize(deltas)}")
+    if compare.has_regressions(deltas):
+        print("PERF GATE: FAIL", file=sys.stderr)
+        return 1
+    print("PERF GATE: ok")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    names = args.case or ["fig5", "shootout"]
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        print(f"perf profile: unknown case(s) {unknown}; registered: "
+              f"{sorted(CASES)}", file=sys.stderr)
+        return 2
+    for name in names:
+        case = CASES[name]
+        print(f"== {name}: top {args.top} host hotspots "
+              f"({args.tier} tier, cProfile by own time) ==")
+        report = profiling.profile_case(case, tier=args.tier, top=args.top)
+        print(report.table())
+        print(f"profiled wall: {report.wall_seconds:.2f}s\n")
+        if not args.no_trace:
+            trace = profiling.trace_report(case, top=args.top)
+            if trace is not None:
+                print(trace)
+                print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf",
+        description="Performance benchmark suite, regression gate and "
+                    "profiler for the allocator reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run the benchmark suite, write an "
+                                       "artifact")
+    tier = p_run.add_mutually_exclusive_group()
+    tier.add_argument("--quick", action="store_true", default=True,
+                      help="quick tier (default): seconds of host time")
+    tier.add_argument("--full", action="store_true",
+                      help="full tier: the paper-scale sweeps")
+    p_run.add_argument("--case", action="append", metavar="NAME",
+                       help=f"run only this case (repeatable); "
+                            f"registered: {', '.join(sorted(CASES))}")
+    p_run.add_argument("--label", default=None,
+                       help="artifact label (default: next free PR<k>)")
+    p_run.add_argument("--out", default=None, metavar="PATH",
+                       help="artifact path (default: <root>/BENCH_<label>.json)")
+    p_run.add_argument("--repeats", type=int, default=None,
+                       help="wall-clock repeats per case (default: 3 quick, "
+                            "1 full)")
+    p_run.add_argument("--root", default=".",
+                       help="repo root holding the BENCH_* trajectory")
+    p_run.add_argument("--results-dir", default="results",
+                       help="directory for per-case JSON twins")
+    p_run.add_argument("--no-results", action="store_true",
+                       help="skip writing the results/ twins")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="diff two artifacts, exit nonzero "
+                                           "on regression")
+    p_cmp.add_argument("--current", default=None, metavar="PATH",
+                       help="artifact under test (default: newest BENCH_*)")
+    p_cmp.add_argument("--baseline", default=None, metavar="PATH",
+                       help="reference artifact (default: previous BENCH_*)")
+    p_cmp.add_argument("--root", default=".",
+                       help="repo root holding the BENCH_* trajectory")
+    p_cmp.add_argument("--virtual-tol", type=float,
+                       default=compare.DEFAULT_VIRTUAL_TOL,
+                       help="allowed fractional worsening for virtual "
+                            "metrics (default %(default)s)")
+    p_cmp.add_argument("--wall-tol", type=float,
+                       default=compare.DEFAULT_WALL_TOL,
+                       help="allowed fractional worsening for wall-clock "
+                            "(default %(default)s)")
+    p_cmp.add_argument("--no-gate-wall", action="store_true",
+                       help="report wall-clock deltas but never fail on them "
+                            "(use across machines, e.g. CI vs a committed "
+                            "baseline)")
+    p_cmp.add_argument("--brief", action="store_true",
+                       help="hide metrics whose status is plain ok")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_prof = sub.add_parser("profile", help="cProfile hotspots + simulator "
+                                            "telemetry per case")
+    p_prof.add_argument("--case", action="append", metavar="NAME",
+                        help="case to profile (repeatable; default: fig5 and "
+                             "shootout)")
+    p_prof.add_argument("--top", type=int, default=10,
+                        help="rows in the hotspot table (default %(default)s)")
+    p_prof.add_argument("--tier", choices=("quick", "full"), default="quick")
+    p_prof.add_argument("--no-trace", action="store_true",
+                        help="skip the tracer-derived telemetry section")
+    p_prof.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

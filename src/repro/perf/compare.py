@@ -1,0 +1,170 @@
+"""Pairwise artifact comparison: the perf regression gate.
+
+Deltas are computed per (case, metric) with *noise-aware* tolerances:
+
+* ``virtual:*`` metrics come from the seeded simulator and are
+  bit-deterministic, so any delta is a real behavior change.  The
+  default tolerance (10%) is slack for *intentional* drift — a cost
+  model tweak, a workload rebalance — not for measurement noise.
+* ``wall:seconds`` measures the host, which is noisy and
+  machine-dependent.  It gets a loose tolerance (default: 50% slower
+  fails) and can be excluded from gating entirely (``gate_wall=False``)
+  for cross-machine comparisons like CI against a committed baseline.
+
+Direction is inferred from the metric name (see
+:mod:`repro.perf.suite`): ``seconds``/``cycles``/``overhead``/
+``failure``/``reserved``/``wait`` metrics are lower-is-better,
+everything else higher-is-better.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..bench.reporting import format_table, si, signed_pct
+
+#: substrings marking a lower-is-better metric (after the class prefix)
+LOWER_BETTER_MARKERS = ("seconds", "cycles", "overhead", "failure",
+                        "reserved", "wait")
+
+#: default allowed fractional worsening per metric class
+DEFAULT_VIRTUAL_TOL = 0.10
+DEFAULT_WALL_TOL = 0.50
+
+
+class CompareError(ValueError):
+    """The two artifacts cannot be meaningfully compared."""
+
+
+def metric_class(name: str) -> str:
+    """'virtual:mean_speedup' -> 'virtual'; 'wall:seconds' -> 'wall'."""
+    return name.split(":", 1)[0] if ":" in name else "virtual"
+
+
+def lower_is_better(name: str) -> bool:
+    base = name.split(":", 1)[-1]
+    return any(marker in base for marker in LOWER_BETTER_MARKERS)
+
+
+@dataclass
+class Delta:
+    """One (case, metric) comparison row."""
+
+    case: str
+    metric: str
+    baseline: float
+    current: float
+    #: signed fractional *worsening* (+0.2 = 20% worse, -0.1 = 10% better)
+    worsening: float
+    klass: str        # "virtual" | "wall"
+    gated: bool       # does this row participate in the pass/fail verdict
+    status: str       # "ok" | "regression" | "improved" | "new" | "gone"
+
+
+def _worsening(baseline: float, current: float, lower_better: bool) -> float:
+    """Signed fractional worsening of ``current`` relative to ``baseline``."""
+    if baseline == current:
+        return 0.0
+    if baseline == 0:
+        # a metric appearing from zero: worse iff it moved the bad way
+        worse = current > 0 if lower_better else current < 0
+        return math.inf if worse else -math.inf
+    frac = (current - baseline) / abs(baseline)
+    return frac if lower_better else -frac
+
+
+def compare_docs(current: dict, baseline: dict, *,
+                 virtual_tol: float = DEFAULT_VIRTUAL_TOL,
+                 wall_tol: float = DEFAULT_WALL_TOL,
+                 gate_wall: bool = True) -> List[Delta]:
+    """Per-metric deltas of ``current`` against ``baseline``.
+
+    Both documents must be the same tier — a quick run regressing
+    against a full baseline would compare different workloads and
+    produce nonsense deltas.
+    """
+    if current.get("tier") != baseline.get("tier"):
+        raise CompareError(
+            f"tier mismatch: current is {current.get('tier')!r}, baseline "
+            f"is {baseline.get('tier')!r} — artifacts compare only within "
+            "a tier"
+        )
+    tols = {"virtual": virtual_tol, "wall": wall_tol}
+    deltas: List[Delta] = []
+    cur_cases: Dict[str, dict] = current["cases"]
+    base_cases: Dict[str, dict] = baseline["cases"]
+    for case in sorted(set(cur_cases) | set(base_cases)):
+        cur_metrics = cur_cases.get(case, {}).get("metrics", {})
+        base_metrics = base_cases.get(case, {}).get("metrics", {})
+        for metric in sorted(set(cur_metrics) | set(base_metrics)):
+            klass = metric_class(metric)
+            gated = klass != "wall" or gate_wall
+            cur = cur_metrics.get(metric)
+            base = base_metrics.get(metric)
+            if base is None or cur is None:
+                deltas.append(Delta(
+                    case=case, metric=metric,
+                    baseline=base if base is not None else math.nan,
+                    current=cur if cur is not None else math.nan,
+                    worsening=0.0, klass=klass, gated=False,
+                    status="new" if base is None else "gone",
+                ))
+                continue
+            worsening = _worsening(base, cur, lower_is_better(metric))
+            tol = tols[klass]
+            if gated and worsening > tol:
+                status = "regression"
+            elif worsening < -tol:
+                status = "improved"
+            else:
+                status = "ok"
+            deltas.append(Delta(case=case, metric=metric, baseline=base,
+                                current=cur, worsening=worsening,
+                                klass=klass, gated=gated, status=status))
+    return deltas
+
+
+def has_regressions(deltas: List[Delta]) -> bool:
+    return any(d.status == "regression" for d in deltas)
+
+
+def _fmt_value(v: float) -> str:
+    return "-" if isinstance(v, float) and math.isnan(v) else si(v)
+
+
+def render_deltas(deltas: List[Delta], *, only_interesting: bool = False) -> str:
+    """The delta table (via :mod:`repro.bench.reporting`).
+
+    ``only_interesting`` drops rows whose status is plain ``ok`` —
+    useful when a full-tier artifact has dozens of flat metrics.
+    """
+    rows = []
+    for d in deltas:
+        if only_interesting and d.status == "ok":
+            continue
+        arrow = "better" if d.worsening < 0 else ("worse" if d.worsening > 0 else "=")
+        rows.append([
+            d.case, d.metric, _fmt_value(d.baseline), _fmt_value(d.current),
+            signed_pct(d.worsening) if d.worsening else "0.0%",
+            arrow if d.status not in ("new", "gone") else "",
+            d.status if d.gated or d.status in ("new", "gone")
+            else f"{d.status} (ungated)",
+        ])
+    if not rows:
+        return "(no deltas to show)"
+    return format_table(
+        ["case", "metric", "baseline", "current", "delta", "", "status"],
+        rows,
+    )
+
+
+def summarize(deltas: List[Delta]) -> str:
+    """One-line verdict for CLI output and CI logs."""
+    counts: Dict[str, int] = {}
+    for d in deltas:
+        counts[d.status] = counts.get(d.status, 0) + 1
+    bits = [f"{counts[k]} {k}" for k in
+            ("regression", "improved", "ok", "new", "gone") if k in counts]
+    return ", ".join(bits) if bits else "no comparable metrics"

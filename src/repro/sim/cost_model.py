@@ -67,16 +67,37 @@ class CostModel:
     block_dispatch: int = 200
     clock_hz: float = 1.2e9
 
+    def __post_init__(self):
+        # A zero/negative clock would turn every seconds()/throughput()
+        # call into a silent divide-by-zero; perturbation decks build
+        # CostModels from user-ish input, so validate at construction.
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive (got {self.clock_hz})")
+        for f in fields(self):
+            if f.name != "clock_hz" and getattr(self, f.name) < 0:
+                raise ValueError(
+                    f"{f.name} must be non-negative (got {getattr(self, f.name)})"
+                )
+
     def as_dict(self) -> dict:
         """The model's parameters as a plain dict (trace-file metadata)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def seconds(self, cycles: int) -> float:
-        """Convert a cycle count to virtual seconds."""
+        """Convert a cycle count to virtual seconds (0.0 for <= 0 cycles,
+        so a trivially-short launch never produces a negative time)."""
+        if cycles <= 0:
+            return 0.0
         return cycles / self.clock_hz
 
     def throughput(self, n_ops: int, cycles: int) -> float:
-        """Operations per virtual second over a run of ``cycles`` cycles."""
+        """Operations per virtual second over a run of ``cycles`` cycles.
+
+        A zero-cycle run (nothing simulated — e.g. an empty launch or a
+        kernel that returns before yielding an op) reports 0.0 rather
+        than dividing by zero; callers render that as a failed/idle
+        point instead of crashing mid-sweep.
+        """
         if cycles <= 0:
             return 0.0
         return n_ops / self.seconds(cycles)

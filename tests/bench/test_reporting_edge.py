@@ -1,0 +1,92 @@
+"""Edge cases for the reporting helpers (satellite of the perf PR)."""
+
+import math
+
+import pytest
+
+from repro.bench.reporting import (
+    Series,
+    format_table,
+    geometric_mean,
+    si,
+    signed_pct,
+    size_label,
+)
+
+
+class TestSi:
+    def test_threshold_boundaries(self):
+        assert si(999.994) == "999.99"
+        assert si(1_000) == "1.00K"
+        assert si(999_999) == "1000.00K"   # scales by magnitude, not rounding
+        assert si(1_000_000) == "1.00M"
+        assert si(1e9) == "1.00G"
+        assert si(0) == "0.00"
+
+    def test_negative_values_scale_by_magnitude(self):
+        assert si(-1_000) == "-1.00K"
+        assert si(-12_300_000) == "-12.30M"
+        assert si(-999) == "-999.00"
+
+
+class TestSizeLabel:
+    def test_unit_boundaries(self):
+        assert size_label(8) == "8 B"
+        assert size_label(1023) == "1023 B"
+        assert size_label(1024) == "1 KB"
+        assert size_label((1 << 20) - 1) == "1023 KB"
+        assert size_label(1 << 20) == "1 MB"
+        assert size_label(512 << 10) == "512 KB"
+
+
+class TestFormatTable:
+    def test_empty_rows_renders_header_only(self):
+        out = format_table(["a", "bb"], [])
+        lines = out.splitlines()
+        assert len(lines) == 2          # header + separator, no data rows
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_column_widths_follow_widest_cell(self):
+        out = format_table(["x"], [["wide-cell"], ["y"]])
+        lines = out.splitlines()
+        assert all(len(ln) == len("wide-cell") for ln in lines)
+
+    def test_non_string_cells_stringified(self):
+        out = format_table(["n", "v"], [[1, 2.5], [None, True]])
+        assert "None" in out and "True" in out and "2.5" in out
+
+
+class TestGeometricMean:
+    def test_single_element_is_identity(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_is_zero(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_non_positive_skipped_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geometric_mean([4.0, 0.0]) == pytest.approx(4.0)
+
+    def test_all_non_positive_is_zero(self):
+        with pytest.warns(RuntimeWarning):
+            assert geometric_mean([0.0, -1.0]) == 0.0
+
+
+class TestSignedPct:
+    def test_signs_and_rounding(self):
+        assert signed_pct(0.123) == "+12.3%"
+        assert signed_pct(-0.04) == "-4.0%"
+        assert signed_pct(0.0) == "+0.0%"
+
+    def test_infinities_render(self):
+        assert signed_pct(math.inf) == "+inf%"
+        assert signed_pct(-math.inf) == "-inf%"
+
+
+class TestSeriesYAt:
+    def test_missing_x_raises_keyerror_with_context(self):
+        s = Series("line", xs=[1.0, 2.0], ys=[10.0, 20.0])
+        assert s.y_at(2.0) == 20.0
+        with pytest.raises(KeyError, match="line"):
+            s.y_at(3.0)

@@ -1,0 +1,106 @@
+"""End-to-end CLI flows (run -> compare gate) and the profiler."""
+
+import json
+
+import pytest
+
+from repro.perf import artifact
+from repro.perf.cli import main as perf_main
+from repro.perf.profile import profile_case, trace_report
+from repro.perf.suite import CASES
+
+#: the cheapest registered case — keeps tier-1 fast
+FAST = "ablation_collective"
+
+
+class TestCliRunCompare:
+    def test_run_writes_valid_artifact_and_twins(self, tmp_path, capsys):
+        rc = perf_main([
+            "run", "--quick", "--case", FAST, "--repeats", "1",
+            "--root", str(tmp_path), "--results-dir", str(tmp_path / "results"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "artifact:" in out and FAST in out
+        # default label on an empty trajectory is PR3
+        doc = artifact.load_artifact(tmp_path / "BENCH_PR3.json")
+        assert doc["label"] == "PR3" and doc["tier"] == "quick"
+        twin = json.loads((tmp_path / "results" / f"{FAST}.json").read_text())
+        assert twin["case"] == FAST
+
+    def test_compare_gate_passes_then_fails_on_regression(self, tmp_path, capsys):
+        rc = perf_main([
+            "run", "--quick", "--case", FAST, "--repeats", "1",
+            "--root", str(tmp_path), "--no-results",
+        ])
+        assert rc == 0
+        # self-compare of a one-artifact trajectory: zero deltas, pass
+        assert perf_main(["compare", "--root", str(tmp_path)]) == 0
+        assert "PERF GATE: ok" in capsys.readouterr().out
+
+        # synthetically regress every virtual throughput/speedup metric
+        base_path = tmp_path / "BENCH_PR3.json"
+        doc = artifact.load_artifact(base_path)
+        bad = json.loads(json.dumps(doc))
+        bad["label"] = "PR4"
+        for case in bad["cases"].values():
+            for k in case["metrics"]:
+                if k.startswith("virtual:"):
+                    case["metrics"][k] *= 0.5
+        bad_path = tmp_path / "BENCH_PR4.json"
+        artifact.write_artifact(bad_path, bad)
+        rc = perf_main(["compare", "--root", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "PERF GATE: FAIL" in captured.err
+        assert "regression" in captured.out
+
+    def test_compare_no_gate_wall_ignores_wall_blowup(self, tmp_path, capsys):
+        rc = perf_main([
+            "run", "--quick", "--case", FAST, "--repeats", "1",
+            "--root", str(tmp_path), "--no-results",
+        ])
+        assert rc == 0
+        doc = artifact.load_artifact(tmp_path / "BENCH_PR3.json")
+        slow = json.loads(json.dumps(doc))
+        slow["label"] = "PR4"
+        for case in slow["cases"].values():
+            case["metrics"]["wall:seconds"] *= 100.0
+        artifact.write_artifact(tmp_path / "BENCH_PR4.json", slow)
+        assert perf_main(["compare", "--root", str(tmp_path)]) == 1
+        capsys.readouterr()
+        assert perf_main(["compare", "--root", str(tmp_path),
+                          "--no-gate-wall"]) == 0
+        assert "PERF GATE: ok" in capsys.readouterr().out
+
+    def test_compare_without_artifacts_errors_cleanly(self, tmp_path, capsys):
+        assert perf_main(["compare", "--root", str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_profile_unknown_case_errors_cleanly(self, capsys):
+        assert perf_main(["profile", "--case", "nope"]) == 2
+        assert "unknown case" in capsys.readouterr().err
+
+
+class TestProfiler:
+    def test_hotspots_for_fast_case(self):
+        report = profile_case(CASES[FAST], tier="quick", top=10)
+        assert report.case == FAST
+        assert 1 <= len(report.hotspots) <= 10
+        # own-time descending, and the table renders
+        tots = [h.tottime for h in report.hotspots]
+        assert tots == sorted(tots, reverse=True)
+        table = report.table()
+        assert "tottime" in table and report.hotspots[0].where in table
+
+    def test_trace_report_only_for_traceable_cases(self):
+        assert trace_report(CASES[FAST]) is None
+        summary = trace_report(CASES["fig5"])
+        assert summary is not None and "trace summary" in summary
+
+    @pytest.mark.parametrize("name", ["fig5"])
+    def test_profile_cli_lists_hotspots(self, name, capsys):
+        assert perf_main(["profile", "--case", name, "--top", "5",
+                          "--no-trace"]) == 0
+        out = capsys.readouterr().out
+        assert "host hotspots" in out and "tottime" in out

@@ -1,0 +1,123 @@
+"""The regression gate: directions, tolerance classes, statuses."""
+
+import math
+
+import pytest
+
+from repro.perf import compare
+from repro.perf.artifact import SCHEMA
+
+
+def _doc(metrics, tier="quick", case="fake"):
+    return {
+        "schema": SCHEMA,
+        "label": "T",
+        "tier": tier,
+        "cost_model": {},
+        "cases": {case: {"seed": 1, "repeats": 1, "metrics": dict(metrics)}},
+    }
+
+
+def _one(deltas, metric):
+    (d,) = [d for d in deltas if d.metric == metric]
+    return d
+
+
+class TestDirections:
+    def test_throughput_drop_is_regression(self):
+        base = _doc({"virtual:ops_per_s": 100.0})
+        cur = _doc({"virtual:ops_per_s": 80.0})
+        d = _one(compare.compare_docs(cur, base), "virtual:ops_per_s")
+        assert d.status == "regression"
+        assert d.worsening == pytest.approx(0.2)
+
+    def test_throughput_gain_is_improvement(self):
+        base = _doc({"virtual:ops_per_s": 100.0})
+        cur = _doc({"virtual:ops_per_s": 150.0})
+        d = _one(compare.compare_docs(cur, base), "virtual:ops_per_s")
+        assert d.status == "improved"
+        assert d.worsening == pytest.approx(-0.5)
+
+    def test_lower_better_metrics_invert(self):
+        for metric in ("virtual:total_cycles", "virtual:overhead_final",
+                       "virtual:failure_rate_mean", "wall:seconds"):
+            base = _doc({metric: 100.0})
+            worse = _doc({metric: 200.0})
+            d = _one(compare.compare_docs(worse, base), metric)
+            assert d.worsening == pytest.approx(1.0), metric
+            assert d.status == "regression", metric
+
+    def test_within_tolerance_is_ok(self):
+        base = _doc({"virtual:ops_per_s": 100.0})
+        cur = _doc({"virtual:ops_per_s": 95.0})  # 5% < 10% default
+        d = _one(compare.compare_docs(cur, base), "virtual:ops_per_s")
+        assert d.status == "ok"
+
+    def test_zero_baseline_appearing_failure_is_regression(self):
+        base = _doc({"virtual:failure_rate_mean": 0.0})
+        cur = _doc({"virtual:failure_rate_mean": 0.25})
+        d = _one(compare.compare_docs(cur, base), "virtual:failure_rate_mean")
+        assert d.status == "regression"
+        assert d.worsening == math.inf
+
+
+class TestToleranceClasses:
+    def test_wall_gets_looser_tolerance(self):
+        base = _doc({"virtual:ops_per_s": 100.0, "wall:seconds": 1.0})
+        cur = _doc({"virtual:ops_per_s": 100.0, "wall:seconds": 1.3})
+        deltas = compare.compare_docs(cur, base)  # wall 30% < 50% default
+        assert _one(deltas, "wall:seconds").status == "ok"
+        cur2 = _doc({"virtual:ops_per_s": 100.0, "wall:seconds": 2.0})
+        deltas2 = compare.compare_docs(cur2, base)
+        assert _one(deltas2, "wall:seconds").status == "regression"
+
+    def test_gate_wall_off_reports_but_never_fails(self):
+        base = _doc({"wall:seconds": 1.0})
+        cur = _doc({"wall:seconds": 10.0})
+        deltas = compare.compare_docs(cur, base, gate_wall=False)
+        d = _one(deltas, "wall:seconds")
+        assert d.status == "ok" and not d.gated
+        assert d.worsening == pytest.approx(9.0)  # still reported
+        assert not compare.has_regressions(deltas)
+
+    def test_custom_tolerances(self):
+        base = _doc({"virtual:ops_per_s": 100.0})
+        cur = _doc({"virtual:ops_per_s": 95.0})
+        deltas = compare.compare_docs(cur, base, virtual_tol=0.01)
+        assert _one(deltas, "virtual:ops_per_s").status == "regression"
+
+
+class TestStructure:
+    def test_tier_mismatch_raises(self):
+        with pytest.raises(compare.CompareError, match="tier"):
+            compare.compare_docs(_doc({}, tier="quick"), _doc({}, tier="full"))
+
+    def test_new_and_gone_metrics_flagged_not_gated(self):
+        base = _doc({"virtual:old": 1.0})
+        cur = _doc({"virtual:new": 1.0})
+        deltas = compare.compare_docs(cur, base)
+        assert _one(deltas, "virtual:new").status == "new"
+        assert _one(deltas, "virtual:old").status == "gone"
+        assert not compare.has_regressions(deltas)
+
+    def test_new_case_appears_as_new_metrics(self):
+        base = _doc({"virtual:x": 1.0}, case="a")
+        cur = _doc({"virtual:x": 1.0}, case="b")
+        statuses = {(d.case, d.status)
+                    for d in compare.compare_docs(cur, base)}
+        assert statuses == {("a", "gone"), ("b", "new")}
+
+    def test_render_and_summary(self):
+        base = _doc({"virtual:ops_per_s": 100.0, "wall:seconds": 1.0})
+        cur = _doc({"virtual:ops_per_s": 50.0, "wall:seconds": 1.0})
+        deltas = compare.compare_docs(cur, base)
+        table = compare.render_deltas(deltas)
+        assert "virtual:ops_per_s" in table and "regression" in table
+        brief = compare.render_deltas(deltas, only_interesting=True)
+        assert "wall:seconds" not in brief
+        assert "1 regression" in compare.summarize(deltas)
+
+    def test_identical_docs_all_ok(self):
+        doc = _doc({"virtual:a": 3.5, "wall:seconds": 0.2})
+        deltas = compare.compare_docs(doc, doc)
+        assert all(d.status == "ok" and d.worsening == 0.0 for d in deltas)

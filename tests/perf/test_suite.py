@@ -1,0 +1,90 @@
+"""Registry sanity and the tiered runner contract.
+
+Full-suite runs live in CI (`perf-smoke`), not here; these tests
+exercise the machinery through the *fastest* registered cases so tier-1
+stays quick.
+"""
+
+import pytest
+
+from repro.perf.suite import (
+    CASES,
+    DEFAULT_REPEATS,
+    BenchCase,
+    run_case,
+    run_suite,
+)
+
+
+class TestRegistry:
+    def test_expected_cases_registered(self):
+        assert {"fig5", "fig6", "fig7", "shootout", "fragmentation",
+                "ablation_buddy", "ablation_collective"} <= set(CASES)
+
+    def test_cases_have_both_tiers_and_metadata(self):
+        for name, case in CASES.items():
+            assert case.name == name
+            assert case.description
+            assert callable(case.runner("quick"))
+            assert callable(case.runner("full"))
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="tier"):
+            CASES["fig5"].runner("medium")
+
+    def test_traced_runners_cover_the_figures(self):
+        for name in ("fig5", "fig6", "fig7"):
+            assert CASES[name].traced_quick is not None
+
+
+class TestRunCase:
+    def test_metrics_shape_and_wall_clock(self):
+        run = run_case(CASES["ablation_collective"], "quick", repeats=2)
+        assert run.case == "ablation_collective"
+        assert run.repeats == 2 and len(run.wall_seconds) == 2
+        assert all(w > 0 for w in run.wall_seconds)
+        assert run.metrics["wall:seconds"] > 0
+        virtual = {k: v for k, v in run.metrics.items()
+                   if k.startswith("virtual:")}
+        assert virtual, "no virtual metrics recorded"
+        assert all(isinstance(v, float) for v in run.metrics.values())
+
+    def test_virtual_metrics_deterministic_across_runs(self):
+        a = run_case(CASES["ablation_collective"], "quick", repeats=1)
+        b = run_case(CASES["ablation_collective"], "quick", repeats=1)
+        va = {k: v for k, v in a.metrics.items() if k.startswith("virtual:")}
+        vb = {k: v for k, v in b.metrics.items() if k.startswith("virtual:")}
+        assert va == vb
+
+    def test_nondeterministic_case_detected(self):
+        ticks = iter(range(100))
+
+        def runner():
+            return {"x": float(next(ticks))}, {}
+
+        case = BenchCase(name="drift", seed=0, description="drifts",
+                         quick=runner, full=runner)
+        with pytest.raises(RuntimeError, match="nondeterministic"):
+            run_case(case, "quick", repeats=2)
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_case(CASES["ablation_collective"], "quick", repeats=0)
+
+    def test_default_repeats_per_tier(self):
+        assert DEFAULT_REPEATS["quick"] >= 2  # medians need repeats
+        assert DEFAULT_REPEATS["full"] >= 1
+
+
+class TestRunSuite:
+    def test_subset_run_and_progress(self):
+        lines = []
+        res = run_suite("quick", names=["ablation_collective"],
+                        repeats=1, progress=lines.append)
+        assert [c.case for c in res.cases] == ["ablation_collective"]
+        assert res.case("ablation_collective").metrics
+        assert any("ablation_collective" in ln for ln in lines)
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError, match="nope"):
+            run_suite("quick", names=["nope"])

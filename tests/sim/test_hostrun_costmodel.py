@@ -76,6 +76,39 @@ class TestCostModel:
         assert cm.throughput(1000, 1_000_000) == pytest.approx(1e6)
         assert cm.throughput(1000, 0) == 0.0
 
+    def test_zero_cycle_run_never_divides_by_zero(self):
+        """A trivially-short launch (kernel yields no ops) must report
+        0.0 throughput / 0.0 seconds, not raise."""
+        cm = DEFAULT_COST_MODEL
+        assert cm.seconds(0) == 0.0
+        assert cm.seconds(-5) == 0.0
+        assert cm.throughput(100, 0) == 0.0
+        assert cm.throughput(0, 0) == 0.0
+
+    def test_empty_kernel_report_is_safe(self):
+        mem = DeviceMemory(1 << 12)
+
+        def kernel(ctx):
+            return
+            yield  # pragma: no cover - makes the function a generator
+
+        s = Scheduler(mem)
+        s.launch(kernel, 1, 1)
+        report = s.run()
+        # whatever the dispatch cost charges, the report's derived
+        # quantities must be finite and non-raising
+        assert report.seconds >= 0.0
+        assert report.throughput(1) >= 0.0
+        assert report.throughput(0) >= 0.0
+
+    def test_invalid_models_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(clock_hz=0)
+        with pytest.raises(ValueError):
+            CostModel(clock_hz=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(atomic_latency=-1)
+
     def test_custom_model_changes_timing(self):
         mem = DeviceMemory(1 << 12)
         counter = mem.host_alloc(8)
