@@ -22,6 +22,10 @@ Usage::
     python -m repro perf compare  # regression gate over the trajectory
     python -m repro perf profile  # host hotspots + simulator telemetry
         # (see `perf --help` and docs in repro.perf)
+
+    python -m repro resil run     # fault injection: verify scenarios
+        # under deterministic fault plans with post-fault recovery
+        # assertions and byte-for-byte trace replay (see `resil --help`).
 """
 
 from __future__ import annotations
@@ -58,6 +62,10 @@ def main(argv=None) -> int:
         from .perf.cli import main as perf_main
 
         return perf_main(list(argv[1:]))
+    if argv and argv[0] == "resil":
+        from .resil.cli import main as resil_main
+
+        return resil_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PPoPP'19 allocator paper's evaluation "

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..sim import ops
 from ..sim.device import GPUDevice, ThreadCtx
 from ..sim.memory import DeviceMemory
 from .config import DEFAULT_CONFIG, AllocatorConfig, round_up_pow2
@@ -23,16 +24,89 @@ _NULL = DeviceMemory.NULL
 
 @dataclass
 class AllocStats:
-    """Host-side counters accumulated across kernel runs."""
+    """Host-side counters accumulated across kernel runs.
+
+    Counting contract
+    -----------------
+    * ``n_malloc`` counts **every** ``malloc``/``malloc_coalesced``
+      call, including invalid-size calls — historically ``nbytes <= 0``
+      returned NULL without touching the stats, which silently skewed
+      ``failure_rate`` against runs that probe edge sizes.
+    * ``n_malloc_failed`` counts every NULL return and always equals
+      ``n_invalid_size + n_exhaustion`` (failures are classified by
+      cause, never double-counted).
+    * ``n_free`` counts every completed ``free`` call, including the
+      ``free(NULL)`` no-op (tracked separately in ``n_free_null``).
+      Frees that *raise* (``InvalidFree``/``DoubleFree``) are not
+      counted: the call did not release anything, and a malloc/free
+      delta of zero must continue to certify a leak-free episode.
+    * ``n_robust_retries``/``n_transient`` are only touched by
+      :meth:`ThroughputAllocator.malloc_robust`: retries it issued, and
+      failed attempts that a later retry of the same call recovered.
+    """
 
     n_malloc: int = 0
     n_malloc_failed: int = 0
     n_free: int = 0
+    #: malloc calls rejected for a non-positive size (subset of failed)
+    n_invalid_size: int = 0
+    #: malloc calls that returned NULL on a valid size (subset of failed)
+    n_exhaustion: int = 0
+    #: free(NULL) no-op calls (subset of n_free)
+    n_free_null: int = 0
+    #: retries issued by malloc_robust after a NULL attempt
+    n_robust_retries: int = 0
+    #: failed attempts recovered by a later malloc_robust retry
+    n_transient: int = 0
 
     @property
     def failure_rate(self) -> float:
         """Fraction of malloc calls that returned NULL."""
         return self.n_malloc_failed / self.n_malloc if self.n_malloc else 0.0
+
+
+@dataclass(frozen=True)
+class PressureGauge:
+    """Host-readable snapshot of remaining pool supply.
+
+    Built from the TBuddy per-order bulk-semaphore ledgers, so reading
+    it costs one word per order and no tree walk.  Exact at quiescence;
+    during a run it is a best-effort gauge (transient claim borrows are
+    clamped to zero rather than reported as garbage counts).
+    """
+
+    #: free blocks per TBuddy order, index = order
+    free_per_order: tuple
+
+    #: bytes of one order-0 block
+    page_size: int
+
+    #: total pool bytes
+    pool_bytes: int
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes of free supply across all orders."""
+        return sum(
+            n * (self.page_size << order)
+            for order, n in enumerate(self.free_per_order)
+        )
+
+    @property
+    def pressure(self) -> float:
+        """Fraction of the pool currently *not* free: 0.0 = everything
+        free, 1.0 = fully committed (allocations or metadata)."""
+        if not self.pool_bytes:
+            return 0.0
+        return 1.0 - min(1.0, self.free_bytes / self.pool_bytes)
+
+    @property
+    def largest_free_order(self) -> int:
+        """Largest order with free supply, or -1 when none is free."""
+        for order in range(len(self.free_per_order) - 1, -1, -1):
+            if self.free_per_order[order]:
+                return order
+        return -1
 
 
 class ThroughputAllocator:
@@ -84,8 +158,12 @@ class ThroughputAllocator:
     # device-side interface
     # ------------------------------------------------------------------
     def malloc(self, ctx: ThreadCtx, nbytes: int):
-        """Allocate at least ``nbytes``; returns the address or NULL."""
+        """Allocate at least ``nbytes``; returns the address or NULL.
+
+        Every call is counted in :class:`AllocStats`, invalid sizes
+        included (see the counting contract there)."""
         if nbytes <= 0:
+            self._count_invalid_size()
             return _NULL
         size = round_up_pow2(max(nbytes, self.cfg.min_alloc))
         if size <= self.cfg.max_ualloc_size:
@@ -95,6 +173,7 @@ class ThroughputAllocator:
         self.stats.n_malloc += 1
         if addr == _NULL:
             self.stats.n_malloc_failed += 1
+            self.stats.n_exhaustion += 1
         return addr
 
     def malloc_coalesced(self, ctx: ThreadCtx, nbytes: int):
@@ -107,6 +186,7 @@ class ThroughputAllocator:
         the cost of a convergence rendezvous when they do not.
         """
         if nbytes <= 0:
+            self._count_invalid_size()
             return _NULL
         size = round_up_pow2(max(nbytes, self.cfg.min_alloc))
         if size <= self.cfg.max_ualloc_size:
@@ -116,7 +196,50 @@ class ThroughputAllocator:
         self.stats.n_malloc += 1
         if addr == _NULL:
             self.stats.n_malloc_failed += 1
+            self.stats.n_exhaustion += 1
         return addr
+
+    def _count_invalid_size(self) -> None:
+        self.stats.n_malloc += 1
+        self.stats.n_malloc_failed += 1
+        self.stats.n_invalid_size += 1
+
+    def malloc_robust(self, ctx: ThreadCtx, nbytes: int, max_retries: int = 4,
+                      backoff_base: int = 256, backoff_cap: int = 16384):
+        """Bounded-retry ``malloc`` with randomized exponential backoff.
+
+        The graceful-degradation wrapper for callers that prefer a
+        slower allocation over a NULL under transient pressure (a storm
+        of reneges, supply still in flight up the split chain).  Retries
+        at most ``max_retries`` times, sleeping a randomized
+        exponentially-growing interval between attempts; gives up — and
+        lets the caller see NULL — when the failure persists, so a truly
+        exhausted pool still fails fast enough to act on.
+
+        Invalid sizes are not retried: the failure is permanent by
+        construction.  Each attempt is counted normally in
+        :class:`AllocStats`; additionally ``n_robust_retries`` counts
+        retries issued, and attempts that a later retry of this call
+        recovered are recorded in ``n_transient`` (so
+        ``n_exhaustion - n_transient`` estimates *hard* exhaustion).
+        """
+        if nbytes <= 0:
+            self._count_invalid_size()
+            return _NULL
+        failures = 0
+        backoff = backoff_base
+        while True:
+            addr = yield from self.malloc(ctx, nbytes)
+            if addr != _NULL:
+                self.stats.n_transient += failures
+                return addr
+            failures += 1
+            if failures > max_retries:
+                return _NULL
+            self.stats.n_robust_retries += 1
+            yield ops.sleep(ctx.rng.randrange(backoff))
+            if backoff < backoff_cap:
+                backoff <<= 1
 
     def free(self, ctx: ThreadCtx, addr: int):
         """Release a block returned by :meth:`malloc` (NULL is a no-op).
@@ -125,8 +248,14 @@ class ThroughputAllocator:
         outside the pool: alignment routing would otherwise hand the
         address to UAlloc, whose chunk-of masking computes a garbage
         chunk base and reports an opaque ``HeapCorruption``.
+
+        ``free(NULL)`` counts in ``n_free``/``n_free_null`` — it is a
+        completed call per the :class:`AllocStats` contract (frees that
+        raise are the ones left uncounted).
         """
         if addr == _NULL:
+            self.stats.n_free += 1
+            self.stats.n_free_null += 1
             return
         if not (0 <= addr - self.pool_base < self.cfg.pool_size):
             raise InvalidFree(
@@ -142,6 +271,28 @@ class ThroughputAllocator:
     # ------------------------------------------------------------------
     # host-side introspection
     # ------------------------------------------------------------------
+    def host_pressure(self) -> PressureGauge:
+        """Snapshot remaining pool supply from the TBuddy semaphore
+        ledgers (one word read per order — no tree walk, so it is safe
+        to poll while a kernel runs).
+
+        Free supply at each order is the order semaphore's ``C``;
+        an in-flight claim borrow (``C >= C_GUARD``) clamps to 0 for
+        that order rather than reporting a wrapped count.  Exact at
+        quiescence.
+        """
+        from ..sync.bulk_semaphore import C_GUARD
+
+        free = tuple(
+            (0 if c >= C_GUARD else c)
+            for c in (sem.value for sem in self.tbuddy.sems)
+        )
+        return PressureGauge(
+            free_per_order=free,
+            page_size=self.cfg.page_size,
+            pool_bytes=self.cfg.pool_size,
+        )
+
     def host_drain_reclamation(self) -> int:
         """Finish all deferred reclamation host-side (quiescent only)."""
         return self.ualloc.host_drain_reclamation()

@@ -149,6 +149,9 @@ class TBuddy:
             if not (word & LOCK_BIT):
                 old = yield ops.atomic_cas(addr, word, word | LOCK_BIT)
                 if old == word:
+                    if ctx.fault is not None:
+                        # stall site: hold the node lock for extra cycles
+                        yield ops.fault_point("tbuddy.lock", node)
                     return old  # pre-lock word value
             yield ops.sleep(ctx.rng.randrange(backoff))
             if backoff < 1024:
@@ -237,11 +240,24 @@ class TBuddy:
             yield ops.sleep(ctx.rng.randrange(256 << attempt))
 
     def _alloc_once(self, ctx: ThreadCtx, order: int):
+        if ctx.fault is not None:
+            # null-alloc site: fail the allocation before triage touches
+            # the semaphore, as if the pool could not satisfy the order.
+            act = yield ops.fault_point("tbuddy.alloc", order)
+            if act is not None:
+                return _NULL
         r = yield from self.sems[order].wait(ctx, 1, 2)
         if r == 0:
             node = yield from self._take_available(ctx, order)
             return self.node_addr(node)
         # r == -1: we promised one order-`order` unit; split a bigger block.
+        if ctx.fault is not None:
+            # renege site: the ascent fails after the batch promise — the
+            # failure arm below must renege the promised unit.
+            act = yield ops.fault_point("tbuddy.split", order)
+            if act is not None:
+                yield from self.sems[order].renege(ctx, 1)
+                return _NULL
         parent_addr = yield from self.alloc(ctx, order + 1, retries=0)
         if parent_addr == _NULL:
             yield from self.sems[order].renege(ctx, 1)

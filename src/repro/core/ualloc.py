@@ -294,7 +294,15 @@ class UAlloc:
     def _new_chunk(self, ctx: ThreadCtx, arena: Arena):
         """Allocate a chunk from TBuddy, claim bin 2, and insert the
         chunk into the arena list under the collective mutex."""
-        chunk = yield from self.tbuddy.alloc(ctx, self.cfg.chunk_order)
+        if ctx.fault is not None:
+            # renege site: the chunk allocation fails after the bin-sem
+            # batch promise — the failure arm below must renege it.
+            act = yield ops.fault_point("ualloc.new_chunk", arena.index)
+            chunk = _NULL if act is not None else (
+                yield from self.tbuddy.alloc(ctx, self.cfg.chunk_order)
+            )
+        else:
+            chunk = yield from self.tbuddy.alloc(ctx, self.cfg.chunk_order)
         if chunk == _NULL:
             yield from arena.bin_sem.renege(ctx, self.cfg.n_regular_bins - 1)
             return None

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..bench import ablations, fig5, fig6, fig7, fragmentation, shootout
 from ..bench.reporting import geometric_mean
+from ..resil import bench as resil_bench
 from ..sim.trace import Tracer
 
 #: (metrics, params) as produced by one tier-runner invocation
@@ -185,6 +186,29 @@ def _fragmentation(rounds: int, nthreads: int) -> RunnerOutput:
     return metrics, {"rounds": rounds, "nthreads": nthreads}
 
 
+def _resil(nthreads: int, iters: int) -> RunnerOutput:
+    res = resil_bench.run(nthreads=nthreads, iters=iters)
+    heavy = res.point("heavy")
+    metrics = {
+        "pairs_per_s_clean": res.point("clean").throughput,
+        "pairs_per_s_light": res.point("light").throughput,
+        "pairs_per_s_heavy": heavy.throughput,
+        # graceful-degradation headline: fraction of fault-free
+        # throughput retained under each plan (higher is better)
+        "throughput_retained_light": res.retained("light"),
+        "throughput_retained_heavy": res.retained("heavy"),
+        # hard failures surfaced to callers after robust retries
+        "heavy_failure_rate": heavy.failure_rate,
+    }
+    params = {
+        "nthreads": nthreads, "iters": iters, "sizes": list(res.sizes),
+        "faults_light": res.point("light").faults,
+        "faults_heavy": heavy.faults,
+        "retries_heavy": heavy.retries,
+    }
+    return metrics, params
+
+
 def _ablation_buddy(thread_counts: Sequence[int]) -> RunnerOutput:
     res = ablations.run_buddy_ablation(thread_counts=thread_counts)
     peak = thread_counts[-1]
@@ -263,6 +287,14 @@ _register(BenchCase(
     description="live vs reserved bytes over churn rounds",
     quick=lambda: _fragmentation(rounds=2, nthreads=256),
     full=lambda: _fragmentation(rounds=6, nthreads=1024),
+))
+
+_register(BenchCase(
+    name="resil",
+    seed=17,
+    description="throughput degradation under injected fault plans",
+    quick=lambda: _resil(nthreads=128, iters=2),
+    full=lambda: _resil(nthreads=512, iters=3),
 ))
 
 _register(BenchCase(

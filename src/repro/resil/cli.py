@@ -1,0 +1,157 @@
+"""``python -m repro resil`` — the fault-injection / resilience CLI.
+
+Usage::
+
+    python -m repro resil run --tier quick      # CI smoke deck
+    python -m repro resil run --tier full       # nightly deck
+    python -m repro resil run --scenario churn  # restrict scenarios
+    python -m repro resil run --case 'storm:1:site=tbuddy.split,p=0.5'
+    python -m repro resil replay 'storm:1:site=tbuddy.split,p=0.5,max=8'
+    python -m repro resil list                  # sites, kinds, decks
+
+Every case runs a verify scenario under a deterministic fault plan and
+must pass the post-fault recovery assertions (quiescent
+``host_checkpoint``, pressure-gauge/tree agreement, no lost supply).
+``run`` executes each case twice and compares the fault traces
+byte-for-byte (``--no-replay-check`` skips the second run); ``replay``
+re-executes one case and prints its full fault trace.  Exit status is
+0 iff every case passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..verify.runner import SCENARIOS
+from .plan import SITES
+from .runner import (
+    TIERS,
+    ResilResult,
+    ResilSpec,
+    deck_for,
+    kinds_injected,
+    run_case,
+    run_deck,
+)
+
+
+def _report(results: List[ResilResult], elapsed: float) -> int:
+    failures = [r for r in results if not r.ok]
+    kinds = kinds_injected(results)
+    total = sum(r.n_injected for r in results)
+    summary = ", ".join(f"{k}: {v}" for k, v in kinds.items()) or "none"
+    print(f"\n{total} faults injected across {len(results)} case(s) "
+          f"({summary})")
+    if not failures:
+        print(f"all {len(results)} cases recovered ({elapsed:.1f}s)")
+        return 0
+    print(f"{len(failures)} failing case(s):")
+    for res in failures:
+        print(res.describe())
+        print(f"  replay: python -m repro resil replay '{res.spec.replay}'")
+    print(f"({elapsed:.1f}s)")
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resil",
+        description="Deterministic fault injection: verify scenarios run "
+                    "under replayable fault plans with post-fault recovery "
+                    "assertions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a resilience deck")
+    p_run.add_argument(
+        "--tier", choices=TIERS, default="quick",
+        help="deck size: quick (CI smoke) or full (nightly); default quick",
+    )
+    p_run.add_argument(
+        "--scenario", action="append", choices=sorted(SCENARIOS),
+        metavar="NAME", default=None,
+        help="restrict the deck to cases of a scenario (repeatable)",
+    )
+    p_run.add_argument(
+        "--case", action="append", metavar="SPEC", default=None,
+        help="run explicit case(s) 'scenario:seed:fault-plan' instead of "
+             "a deck (repeatable)",
+    )
+    p_run.add_argument(
+        "--no-replay-check", action="store_true",
+        help="skip the second run that verifies the fault trace is "
+             "reproduced byte-for-byte",
+    )
+    p_run.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop at the first failing case",
+    )
+
+    p_replay = sub.add_parser(
+        "replay", help="re-execute one case and print its fault trace"
+    )
+    p_replay.add_argument(
+        "spec", metavar="SPEC",
+        help="case spec 'scenario:seed:fault-plan' (as printed by run)",
+    )
+
+    sub.add_parser("list", help="print fault sites, kinds, and decks")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("fault sites:")
+        for site, (kind, desc) in sorted(SITES.items()):
+            print(f"  {site:18s} {kind:10s} {desc}")
+        for tier in TIERS:
+            deck = deck_for(tier)
+            print(f"\n{tier} deck ({len(deck)} cases):")
+            for spec in deck:
+                print(f"  {spec.replay}")
+        return 0
+
+    t0 = time.time()
+    if args.command == "replay":
+        try:
+            spec = ResilSpec.parse(args.spec)
+        except ValueError as e:
+            parser.error(str(e))
+        print(f"replaying {spec.replay} ...")
+        res = run_case(spec, replay_check=True)
+        print(res.describe())
+        if res.trace:
+            print("fault trace:")
+            for line in res.trace.splitlines():
+                print(f"  {line}")
+        print(f"({time.time() - t0:.1f}s)")
+        return 0 if res.ok else 1
+
+    # run
+    if args.case:
+        try:
+            deck = [ResilSpec.parse(s) for s in args.case]
+        except ValueError as e:
+            parser.error(str(e))
+    else:
+        deck = deck_for(args.tier)
+        if args.scenario:
+            deck = [s for s in deck if s.scenario in args.scenario]
+            if not deck:
+                parser.error(
+                    f"no {args.tier}-deck cases for scenario(s) "
+                    f"{', '.join(args.scenario)}"
+                )
+    print(f"resil: running {len(deck)} case(s)"
+          + (" (replay check off)" if args.no_replay_check else ""))
+    results = run_deck(
+        deck, replay_check=not args.no_replay_check,
+        fail_fast=args.fail_fast, log=print,
+    )
+    return _report(results, time.time() - t0)
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro resil is the entry
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""Resilience cases: verify scenarios run under a fault plan.
+
+A resilience *case* is one :mod:`repro.verify` scenario executed with a
+:class:`~repro.resil.plan.FaultInjector` attached to the scheduler.
+The scenario's own quiescent checkpoints run as usual — so a fault
+whose failure arm leaks a promise (``E != 0``), strands a waiter
+(``R != 0``), corrupts the tree, or loses bytes fails the case exactly
+like an organic bug would — and the runner layers post-fault recovery
+assertions on top:
+
+* the final ``host_checkpoint`` must pass *after* the injected faults
+  (every injected renege left ``E == R == 0`` at quiescence, no leaked
+  promises);
+* the host pressure gauge must agree with the quiescent tree — the
+  semaphore ledgers and the tree shape reconcile byte-for-byte, and a
+  leak-free scenario ends with the whole pool free;
+* the case must actually inject (``min_injected``) — a plan whose site
+  is never reached verifies nothing and is reported as a failure, not
+  silently passed;
+* replaying the same ``(scenario, seed, plan)`` must reproduce the
+  identical fault trace byte-for-byte (``--no-replay-check`` skips the
+  second run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.errors import SimError
+from ..verify.perturbation import Perturbation
+from ..verify.runner import SCENARIOS, _Harness
+from .plan import FaultInjector, FaultPlan
+
+#: nominal sizes for ``run_deck(tier=...)``
+TIERS = ("quick", "full")
+
+
+@dataclass(frozen=True)
+class ResilSpec:
+    """One replayable resilience case."""
+
+    scenario: str
+    seed: int
+    plan: FaultPlan = FaultPlan()
+    #: fail the case unless at least this many faults were injected
+    min_injected: int = 1
+
+    @property
+    def replay(self) -> str:
+        """``scenario:seed:planspec`` — the ``replay`` CLI argument.
+        Plan specs never contain ``:``, so the triple splits cleanly."""
+        return f"{self.scenario}:{self.seed}:{self.plan.spec}"
+
+    @classmethod
+    def parse(cls, replay: str) -> "ResilSpec":
+        parts = replay.split(":", 2)
+        if len(parts) < 2:
+            raise ValueError(
+                f"bad resil replay spec {replay!r} "
+                "(want scenario:seed[:fault-plan])"
+            )
+        scenario, seed = parts[0], int(parts[1])
+        plan = FaultPlan.parse(parts[2]) if len(parts) == 3 else FaultPlan()
+        return cls(scenario, seed, plan)
+
+    def __str__(self) -> str:
+        return self.replay
+
+
+@dataclass
+class ResilResult:
+    """Outcome of one executed resilience case."""
+
+    spec: ResilSpec
+    error: Optional[str] = None
+    n_injected: int = 0
+    counts_by_kind: Dict[str, int] = field(default_factory=dict)
+    trace: str = ""
+    #: None = replay check not run; True/False = trace reproduced or not
+    replay_ok: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.replay_ok is not False
+
+    def describe(self) -> str:
+        kinds = ",".join(f"{k}={v}" for k, v in self.counts_by_kind.items())
+        tag = f"[{self.n_injected} faults: {kinds}]" if kinds else "[0 faults]"
+        if self.ok:
+            return f"PASS {self.spec} {tag}"
+        lines = [f"FAIL {self.spec} {tag}"]
+        if self.error:
+            lines.append(f"  error: {self.error}")
+        if self.replay_ok is False:
+            lines.append("  error: fault trace not reproduced on replay")
+        return "\n".join(lines)
+
+
+def _run_once(spec: ResilSpec) -> ResilResult:
+    """Execute the case once and apply the recovery assertions."""
+    if spec.scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {spec.scenario!r}; "
+            f"choose from {', '.join(sorted(SCENARIOS))}"
+        )
+    harness_kwargs, scenario = SCENARIOS[spec.scenario]
+    inj = FaultInjector(spec.plan, seed=spec.seed)
+    result = ResilResult(spec)
+    try:
+        h = _Harness(spec.seed, Perturbation(), checker=None,
+                     fault_injector=inj, **harness_kwargs)
+        scenario(h)
+        # Post-fault recovery assertions.  The scenario's final
+        # checkpoint already validated every structural and accounting
+        # invariant after the faults; re-assert the parts the paper's
+        # failure protocol owes us, explicitly and in resilience terms.
+        h.alloc.host_checkpoint(expect_leak_free=True)
+        gauge = h.alloc.host_pressure()
+        tree_free = h.alloc.tbuddy.host_free_bytes()
+        assert gauge.free_bytes == tree_free, (
+            f"pressure gauge reads {gauge.free_bytes} free bytes but the "
+            f"quiescent tree holds {tree_free}: semaphore ledgers and "
+            "tree shape disagree after fault recovery"
+        )
+        assert gauge.free_bytes == h.cfg.pool_size, (
+            f"only {gauge.free_bytes}/{h.cfg.pool_size} bytes free after "
+            "a leak-free scenario: fault recovery lost supply"
+        )
+        assert inj.n_injected >= spec.min_injected, (
+            f"only {inj.n_injected} faults injected "
+            f"(expected >= {spec.min_injected}): the plan's sites were "
+            "not reached and the case verified nothing"
+        )
+    except (SimError, AssertionError) as exc:
+        result.error = f"{type(exc).__name__}: {exc}"
+    result.n_injected = inj.n_injected
+    result.counts_by_kind = inj.counts_by_kind
+    result.trace = inj.trace_text()
+    return result
+
+
+def run_case(spec: ResilSpec, replay_check: bool = True) -> ResilResult:
+    """Execute one resilience case; never raises for case failures.
+
+    With ``replay_check`` (the default) the case runs twice and the two
+    fault traces are compared byte-for-byte — determinism of the whole
+    (workload, scheduler, injector) stack is part of the contract.
+    """
+    result = _run_once(spec)
+    if replay_check:
+        second = _run_once(spec)
+        result.replay_ok = (second.trace == result.trace
+                            and second.error == result.error)
+    return result
+
+
+# ----------------------------------------------------------------------
+# decks
+# ----------------------------------------------------------------------
+def _spec(scenario: str, seed: int, planspec: str,
+          min_injected: int = 1) -> ResilSpec:
+    return ResilSpec(scenario, seed, FaultPlan.parse(planspec), min_injected)
+
+
+#: CI smoke deck — covers all four fault kinds (renege, null-alloc,
+#: stall, rcu-delay) across both allocators' failure arms.
+QUICK_DECK: List[ResilSpec] = [
+    # renege: TBuddy split ascent fails after the order-sem promise
+    _spec("storm", 1, "site=tbuddy.split,p=0.5,max=8"),
+    # null-alloc: TBuddy returns NULL at uncontrolled depths
+    _spec("storm", 2, "site=tbuddy.alloc,p=0.25,max=12"),
+    # null-alloc at one controlled depth: only chunk-order allocations
+    # fail, driving UAlloc's new-chunk renege arm specifically
+    _spec("storm", 3, "site=tbuddy.alloc,detail=6,p=1,max=4"),
+    # renege: chunk allocation fails after the bin-sem batch promise
+    _spec("churn", 1, "site=ualloc.new_chunk,p=1,max=4"),
+    # stall: lock holders hold SpinLocks for 3k extra cycles
+    _spec("churn", 2, "site=spinlock.hold,p=0.05,cycles=3000"),
+    # stall: TBuddy node locks held mid-transition
+    _spec("storm", 4, "site=tbuddy.lock,p=0.05,cycles=2000,max=50"),
+    # rcu-delay: grace periods stretched while holding the writer mutex
+    _spec("churn", 3, "site=rcu.grace,p=1,cycles=5000,max=8"),
+    # mixed plan: reneges under oom pressure plus lock-holder stalls
+    _spec("storm_oom", 1,
+          "site=tbuddy.split,p=0.3,max=6;"
+          "site=tbuddy.lock,p=0.02,cycles=1500,max=20"),
+]
+
+#: nightly deck — quick plus higher rates, more seeds, more scenarios.
+FULL_DECK: List[ResilSpec] = QUICK_DECK + [
+    _spec("storm", 5, "site=tbuddy.split,p=1,max=20"),
+    _spec("storm", 6, "site=tbuddy.alloc,p=0.5,max=40"),
+    _spec("churn", 4, "site=ualloc.new_chunk,every=2,max=8"),
+    _spec("churn", 5, "site=spinlock.hold,p=0.15,cycles=8000"),
+    _spec("producer_consumer", 1, "site=spinlock.hold,every=3,cycles=4000"),
+    _spec("producer_consumer", 2, "site=rcu.grace,p=1,cycles=10000,max=4"),
+    _spec("storm_oom", 2, "site=tbuddy.alloc,p=0.4,max=30"),
+    _spec("storm_oom", 3,
+          "site=tbuddy.split,p=0.5,max=10;"
+          "site=ualloc.new_chunk,p=0.5,max=6;"
+          "site=spinlock.hold,p=0.05,cycles=2000"),
+]
+
+
+def deck_for(tier: str) -> List[ResilSpec]:
+    if tier == "quick":
+        return list(QUICK_DECK)
+    if tier == "full":
+        return list(FULL_DECK)
+    raise ValueError(f"unknown tier {tier!r}; choose from {', '.join(TIERS)}")
+
+
+def run_deck(deck: Sequence[ResilSpec], replay_check: bool = True,
+             fail_fast: bool = False,
+             log: Optional[Callable[[str], None]] = None) -> List[ResilResult]:
+    """Run every case in ``deck``; returns all results."""
+    results: List[ResilResult] = []
+    for spec in deck:
+        res = run_case(spec, replay_check=replay_check)
+        results.append(res)
+        if log is not None:
+            log(res.describe())
+        if fail_fast and not res.ok:
+            break
+    return results
+
+
+def kinds_injected(results: Sequence[ResilResult]) -> Dict[str, int]:
+    """Aggregate injected fault counts by kind across results."""
+    out: Dict[str, int] = {}
+    for res in results:
+        for kind, n in res.counts_by_kind.items():
+            out[kind] = out.get(kind, 0) + n
+    return dict(sorted(out.items()))

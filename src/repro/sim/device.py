@@ -62,6 +62,10 @@ class ThreadCtx:
     trace: the scheduler's :class:`~repro.sim.trace.Tracer`, or ``None``
         when tracing is off.  Device-side primitives report telemetry
         through it, guarded by ``if ctx.trace is not None``.
+    fault: the scheduler's :class:`~repro.resil.FaultInjector`, or
+        ``None`` when fault injection is off.  Device-side failure
+        sites yield :func:`~repro.sim.ops.fault_point` probes only when
+        this is set, so unfaulted runs pay nothing.
     """
 
     tid: int
@@ -74,6 +78,7 @@ class ThreadCtx:
     block_dim: int
     rng: random.Random = field(repr=False, default_factory=random.Random)
     trace: object = field(repr=False, default=None, compare=False)
+    fault: object = field(repr=False, default=None, compare=False)
 
     def is_warp_leader_of(self, mask: frozenset) -> bool:
         """True if this thread is the elected leader of converged ``mask``."""

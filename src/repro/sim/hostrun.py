@@ -65,6 +65,9 @@ def _exec(mem: DeviceMemory, op: tuple) -> Any:
         return mem.min_word(op[1], op[2])
     if code in (ops.OP_SLEEP, ops.OP_YIELD):
         return None
+    if code == ops.OP_FAULT:
+        # no injector host-side: fault probes never fire
+        return None
     # Single-thread semantics for the cooperative ops: a lone host
     # driver converges with itself and passes barriers trivially.
     if code == ops.OP_WARP_CONV:

@@ -44,6 +44,7 @@ OP_YIELD = 13
 OP_WARP_SYNC = 14
 OP_WARP_MATCH = 15
 OP_WARP_BCAST = 16
+OP_FAULT = 17
 
 #: opcode -> human-readable name (trace labels, ``SimReport.named_op_counts``)
 OP_NAMES = {
@@ -64,6 +65,7 @@ OP_NAMES = {
     OP_WARP_SYNC: "warp_sync",
     OP_WARP_MATCH: "warp_match",
     OP_WARP_BCAST: "warp_broadcast",
+    OP_FAULT: "fault_point",
 }
 
 _MASK64 = (1 << 64) - 1
@@ -217,6 +219,25 @@ def warp_broadcast(mask: frozenset, value=NO_PAYLOAD) -> Op:
     call degrades to :func:`warp_sync` and resumes with the mask.
     """
     return (OP_WARP_BCAST, mask, value)
+
+
+def fault_point(site: str, detail: int = 0) -> Op:
+    """Fault-injection probe (see :mod:`repro.resil`).
+
+    Device code yields this at a designated failure site — always
+    guarded by ``ctx.fault is not None``, so unfaulted runs never emit
+    the op.  The scheduler consults its attached fault injector and the
+    op resumes with either ``None`` (no fault: proceed normally) or the
+    string ``"fail"`` (take the site's failure arm).  Stall-type faults
+    resume with ``None`` after the injected delay has been charged to
+    the thread's virtual clock, so the site's code needs no stall
+    handling of its own.
+
+    ``detail`` is a site-specific integer (TBuddy order, node index,
+    arena index ...) that fault rules may filter on — this is how a
+    plan targets, e.g., NULL returns at one controlled split depth.
+    """
+    return (OP_FAULT, site, detail)
 
 
 def to_signed(value: int) -> int:

@@ -182,6 +182,7 @@ class Scheduler:
         track_contention: bool = False,
         tracer: Optional[Tracer] = None,
         dispatch_jitter: int = 0,
+        fault_injector: object = None,
     ) -> None:
         self.memory = memory
         self.device = device
@@ -214,6 +215,10 @@ class Scheduler:
         self.tracer = tracer
         if tracer is not None:
             tracer._attach(self)
+        # deterministic fault injection (opt-in; see repro.resil).  The
+        # injector is handed to every ThreadCtx so device code can gate
+        # its fault_point probes on `ctx.fault is not None`.
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     # Launch
@@ -265,6 +270,7 @@ class Scheduler:
                     block_dim=block,
                     rng=random.Random((self.seed << 20) ^ (tid * 0x9E3779B9)),
                     trace=self.tracer,
+                    fault=self.fault_injector,
                 )
                 gen = kernel(ctx, *args)
                 if not isinstance(gen, Generator):
@@ -361,6 +367,7 @@ class Scheduler:
         OP_WARP_SYNC = _ops.OP_WARP_SYNC
         OP_WARP_MATCH = _ops.OP_WARP_MATCH
         OP_WARP_BCAST = _ops.OP_WARP_BCAST
+        OP_FAULT = _ops.OP_FAULT
 
         events = self._events
         while heap:
@@ -470,6 +477,21 @@ class Scheduler:
                 if code == OP_WARP_BCAST:
                     op_counts[code] = op_counts.get(code, 0) + 1
                     self._park_warp_sync(th, nxt[1], resume_at, payload=nxt[2])
+                    break
+                if code == OP_FAULT:
+                    # Fault-injection probe: ask the attached injector
+                    # whether this (site, occurrence) fires.  Fail-type
+                    # faults resume with "fail" so the site takes its
+                    # failure arm; stall-type faults charge the injected
+                    # delay to the thread's clock and resume with None.
+                    op_counts[code] = op_counts.get(code, 0) + 1
+                    inj = self.fault_injector
+                    outcome, delay = (
+                        inj.decide(tid, nxt[1], nxt[2], resume_at)
+                        if inj is not None else (None, 0)
+                    )
+                    th.inbox = outcome
+                    self._push(resume_at + step_cost + delay, tid)
                     break
                 # Memory op: execute at its own heap event.  Atomics
                 # reserve the target word's next free service slot at

@@ -195,8 +195,14 @@ class BulkSemaphore:
                 yield ops.sleep(ctx.rng.randrange(backoff))
                 if backoff < self.max_backoff:
                     backoff <<= 1
-            # un-reserve, then re-triage from the top
+            # un-reserve, then re-triage from the top.  Reset the backoff:
+            # it grew while we idled on a promise that no longer exists,
+            # and the re-triage is a fresh contention episode — most
+            # likely we are about to become the new designated promiser
+            # ourselves, and carrying a maxed-out backoff into that role
+            # would stall every waiter behind the collapsed expectation.
             yield ops.atomic_sub(self.addr, n << R_SHIFT)
+            backoff = 32
 
     def try_wait(self, ctx: ThreadCtx, n: int = 1):
         """Decrement ``C`` by ``n`` iff possible; returns True/False.

@@ -119,6 +119,10 @@ class RCU:
         tr = ctx.trace
         t_flip = tr.now(ctx) if tr is not None else 0
         yield ops.atomic_sub(self.waiters_addr, 1)
+        if ctx.fault is not None:
+            # rcu-delay site: stretch the grace period after the flip
+            # (the barrier holder stalls while holding the writer mutex)
+            yield ops.fault_point("rcu.grace", e & 1)
         old_idx = e & 1
         backoff = 32
         while True:

@@ -46,6 +46,9 @@ class SpinLock:
         if old == _FREE:
             if tr is not None:
                 tr.lock_acquired(ctx, self.addr, t0)
+            if ctx.fault is not None:
+                # stall site: hold the lock for extra cycles
+                yield ops.fault_point("spinlock.hold", self.addr)
             return True
         return False
 
@@ -63,6 +66,9 @@ class SpinLock:
                 if old == _FREE:
                     if tr is not None:
                         tr.lock_acquired(ctx, self.addr, t0)
+                    if ctx.fault is not None:
+                        # stall site: hold the lock for extra cycles
+                        yield ops.fault_point("spinlock.hold", self.addr)
                     return
             yield ops.sleep(ctx.rng.randrange(backoff))
             if backoff < self.max_backoff:

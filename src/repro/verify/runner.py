@@ -96,7 +96,8 @@ class _Harness:
 
     def __init__(self, seed: int, perturbation: Perturbation,
                  checker: Optional[RaceChecker], pool_order: int,
-                 num_sms: int = 4, mem_bytes: int = 16 << 20):
+                 num_sms: int = 4, mem_bytes: int = 16 << 20,
+                 fault_injector: object = None):
         cost, jitter = perturbation.apply(DEFAULT_COST_MODEL)
         self.mem = DeviceMemory(mem_bytes)
         self.device = GPUDevice(num_sms=num_sms, max_resident_blocks=2)
@@ -105,6 +106,7 @@ class _Harness:
         self.sched = Scheduler(
             self.mem, self.device, cost, seed=seed,
             tracer=checker, dispatch_jitter=jitter,
+            fault_injector=fault_injector,
         )
         self.checker = checker
         if checker is not None:

@@ -1,0 +1,110 @@
+"""Resil runner: specs, decks, recovery assertions, replay, bench."""
+
+import pytest
+
+from repro.resil import ALL_KINDS, FaultPlan
+from repro.resil.runner import (
+    FULL_DECK,
+    QUICK_DECK,
+    ResilSpec,
+    deck_for,
+    kinds_injected,
+    run_case,
+    run_deck,
+)
+
+
+class TestResilSpec:
+    def test_replay_roundtrip(self):
+        spec = ResilSpec("storm", 7, FaultPlan.parse("site=tbuddy.split,p=0.5"))
+        assert spec.replay == "storm:7:site=tbuddy.split,p=0.5"
+        assert ResilSpec.parse(spec.replay) == spec
+
+    def test_parse_without_plan(self):
+        spec = ResilSpec.parse("churn:3")
+        assert spec == ResilSpec("churn", 3)
+        assert not spec.plan
+
+    def test_parse_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            ResilSpec.parse("just-a-scenario")
+        with pytest.raises(ValueError):
+            ResilSpec.parse("storm:notanint:site=tbuddy.split")
+
+
+class TestDecks:
+    def test_deck_for_tiers(self):
+        assert deck_for("quick") == QUICK_DECK
+        assert deck_for("full") == FULL_DECK
+        with pytest.raises(ValueError):
+            deck_for("nightly")
+
+    def test_full_deck_extends_quick(self):
+        assert FULL_DECK[:len(QUICK_DECK)] == QUICK_DECK
+        assert len(FULL_DECK) > len(QUICK_DECK)
+
+    def test_quick_deck_plans_cover_all_kinds(self):
+        # The acceptance bar: the CI smoke deck must be able to inject
+        # every distinct fault kind the plan model defines.
+        kinds = {k for spec in QUICK_DECK for k in spec.plan.kinds}
+        assert kinds == set(ALL_KINDS)
+
+    def test_deck_specs_are_unique(self):
+        replays = [spec.replay for spec in FULL_DECK]
+        assert len(replays) == len(set(replays))
+
+
+class TestRunCase:
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError):
+            run_case(ResilSpec("nonexistent", 1), replay_check=False)
+
+    def test_injected_case_recovers_and_replays(self):
+        spec = ResilSpec.parse("storm:1:site=tbuddy.split,p=0.5,max=4")
+        res = run_case(spec, replay_check=True)
+        assert res.ok, res.describe()
+        assert res.n_injected >= 1
+        assert res.replay_ok is True
+        assert res.trace  # the fault trace is recorded
+        assert "renege" in res.counts_by_kind
+        assert res.describe().startswith("PASS")
+
+    def test_unreached_plan_fails_the_case(self):
+        # A plan that never fires verifies nothing: min_injected trips.
+        spec = ResilSpec("storm", 1,
+                         FaultPlan.parse("site=tbuddy.split,after=1000000"))
+        res = run_case(spec, replay_check=False)
+        assert not res.ok
+        assert "faults injected" in res.error
+        assert res.describe().startswith("FAIL")
+
+    def test_run_deck_logs_and_collects(self):
+        deck = [ResilSpec.parse("storm:1:site=tbuddy.split,p=0.5,max=4"),
+                ResilSpec.parse("churn:1:site=ualloc.new_chunk,p=1,max=2")]
+        lines = []
+        results = run_deck(deck, replay_check=False, log=lines.append)
+        assert len(results) == len(lines) == 2
+        assert all(r.ok for r in results)
+        agg = kinds_injected(results)
+        assert agg.get("renege", 0) >= 2  # both cases inject reneges
+
+
+class TestBench:
+    def test_degradation_sweep_smoke(self):
+        from repro.resil import bench
+
+        res = bench.run(nthreads=32, iters=1, seed=17)
+        levels = [p.level for p in res.points]
+        assert levels == ["clean", "light", "heavy"]
+        clean = res.point("clean")
+        assert clean.faults == 0 and clean.plan == ""
+        assert res.point("heavy").faults > 0
+        assert res.retained("clean") == 1.0
+        assert res.retained("heavy") > 0.0  # degraded, not dead
+        assert res.table()  # renders
+
+    def test_bench_case_registered_in_perf_suite(self):
+        from repro.perf.suite import CASES
+
+        assert "resil" in CASES
+        assert CASES["resil"].runner("quick") is CASES["resil"].quick

@@ -173,6 +173,101 @@ class TestConcurrentConservation:
         c, e, r = sem.counters
         assert e == 0 and r == 0
 
+    def test_renege_collapse_promotes_new_promiser(self):
+        """After ``wait(n, b) == -1`` and ``renege(b - n)``, the reserved
+        waiters must observe the expectation collapse, re-triage, and
+        exactly one must take over as the new designated batch promiser
+        (the collapsed batch's demand is still uncovered)."""
+        mem = DeviceMemory(1 << 16)
+        sem = BulkSemaphore(mem)
+        roles = []
+
+        def kernel(ctx):
+            if ctx.tid == 0:
+                r = yield from sem.wait(ctx, 1, 8)
+                assert r == -1  # first on an empty sem: designated
+                yield ops.sleep(5_000)  # let every waiter reserve
+                yield from sem.renege(ctx, 7)  # allocation "failed"
+                roles.append(("renege", ctx.tid))
+                return
+            yield ops.sleep(100 + ctx.tid)  # reserve after the promise
+            r = yield from sem.wait(ctx, 1, 8)
+            if r == -1:
+                yield from sem.fulfill(ctx, 7)  # the hand-off succeeds
+                roles.append(("promiser", ctx.tid))
+            else:
+                roles.append(("claimed", ctx.tid))
+
+        s = Scheduler(mem, seed=11)
+        s.launch(kernel, 1, 6)  # tid 0 + 5 waiters
+        s.run(max_events=5_000_000)
+        promisers = [t for role, t in roles if role == "promiser"]
+        claimed = [t for role, t in roles if role == "claimed"]
+        assert len(promisers) == 1, roles  # one waiter took over the batch
+        assert promisers[0] != 0  # ... and it was a re-triaged waiter
+        assert len(claimed) == 4  # the rest were covered by its batch
+        c, e, r = sem.counters
+        assert (c, e, r) == (3, 0, 0)  # 8 per batch - 5 demands, all settled
+
+    def test_backoff_resets_after_collapse_retriage(self):
+        """Regression (post-renege recovery latency): ``wait`` never
+        reset its backoff after an expectation-collapse re-triage, so a
+        waiter that idled behind a long-dead promise carried a saturated
+        (``max_backoff``-cycle) sleep into its next covered spin and
+        observed fresh supply up to 16k cycles late.
+
+        White-box: drive one covered waiter by hand, saturate its
+        backoff against a phantom promise, renege that promise, re-cover
+        the waiter with a fresh promise the moment it un-reserves, and
+        measure its first post-collapse sleep — which must restart from
+        the initial backoff window, not the saturated one.
+        """
+        from repro.sim.hostrun import _exec
+        from repro.sync.bulk_semaphore import R_SHIFT, _MASK64
+
+        mem = DeviceMemory(1 << 12)
+        sem = BulkSemaphore(mem)
+        # phantom promiser: wait(1, 4) on an empty sem -> -1, E = 3
+        assert drive(mem, sem.wait(host_ctx(seed=1), 1, 4)) == -1
+        g = sem.wait(host_ctx(seed=3), 1, 4)  # the covered waiter
+
+        unreserve = (-(1 << R_SHIFT)) & _MASK64
+        pre_sleeps, post_sleeps = [], []
+        collapsed = fulfilled = False
+        result = None
+        try:
+            while True:
+                op = g.send(result)
+                if op[0] == ops.OP_SLEEP:
+                    (post_sleeps if collapsed else pre_sleeps).append(op[1])
+                result = _exec(mem, op)
+                if not collapsed and len(pre_sleeps) == 15:
+                    # backoff is saturated; the phantom's allocation fails
+                    drive(mem, sem.renege(host_ctx(seed=1), 3))
+                    collapsed = True
+                elif collapsed and op[0] == ops.OP_ADD and op[2] == unreserve:
+                    # waiter observed the collapse and un-reserved: cover
+                    # it again with a fresh phantom promise (no supply
+                    # yet, so its next covered spin must sleep)
+                    assert drive(mem, sem.wait(host_ctx(seed=2), 1, 4)) == -1
+                elif collapsed and len(post_sleeps) == 1 and not fulfilled:
+                    # first covered sleep measured: publish the supply so
+                    # the waiter's next claim succeeds
+                    drive(mem, sem.fulfill(host_ctx(seed=2), 3))
+                    fulfilled = True
+        except StopIteration as stop:
+            assert stop.value == 0  # the waiter claimed a unit
+        assert max(pre_sleeps) > 4096, "backoff never saturated pre-collapse"
+        # The first covered sleep after the re-triage must come from the
+        # initial backoff window (32), not the saturated one (16384).
+        assert post_sleeps, "waiter claimed without ever sleeping covered"
+        assert post_sleeps[0] < 32, (
+            f"first post-collapse sleep was {post_sleeps[0]} cycles: "
+            "backoff carried over the collapse re-triage"
+        )
+        c, e, r = sem.counters
+        assert e == 0 and r == 0
+
     def test_try_wait_concurrent_exactness(self):
         mem = DeviceMemory(1 << 16)
         sem = BulkSemaphore(mem, initial=100)
