@@ -26,6 +26,10 @@ Usage::
     python -m repro resil run     # fault injection: verify scenarios
         # under deterministic fault plans with post-fault recovery
         # assertions and byte-for-byte trace replay (see `resil --help`).
+
+    python -m repro par perf      # any deck runner sharded across worker
+        # processes with a deterministic merge; also available as
+        # --workers N on perf run / verify / resil run (see `par --help`).
 """
 
 from __future__ import annotations
@@ -66,6 +70,10 @@ def main(argv=None) -> int:
         from .resil.cli import main as resil_main
 
         return resil_main(list(argv[1:]))
+    if argv and argv[0] == "par":
+        from .par.cli import main as par_main
+
+        return par_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PPoPP'19 allocator paper's evaluation "

@@ -78,14 +78,22 @@ class CudaLikeAllocator:
         if need < MIN_BLOCK:
             need = MIN_BLOCK
         yield from self.lock.lock(ctx)
-        node = yield from self.freelist.first(ctx)
-        while not self.freelist.is_end(node):
-            size = yield ops.load(node)
+        # Inlined DList walk: ``first``/``next`` are one load each, and
+        # spinning up a generator + yield-from delegation per hop was
+        # the dominant cost of this serial walk.  The op sequence is
+        # identical to the method-based traversal.
+        fl = self.freelist
+        head = fl.head
+        next_off = fl.next_off
+        _load = ops.OP_LOAD
+        node = yield (_load, head + next_off)
+        while node != head:
+            size = yield (_load, node)
             if size >= need:
                 yield from self._take(ctx, node, size, need)
                 yield from self.lock.unlock(ctx)
                 return node + HDR
-            node = yield from self.freelist.next(ctx, node)
+            node = yield (_load, node + next_off)
         yield from self.lock.unlock(ctx)
         return _NULL
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..sim import ops
-from ..sim.device import ThreadCtx
+from ..sim.device import ThreadCtx, rng_randbelow
 from ..sim.errors import SimError
 from ..sim.memory import DeviceMemory
 
@@ -81,34 +81,44 @@ class XMalloc:
 
     def _push(self, ctx: ThreadCtx, head: int, block: int):
         backoff = 8
+        load_head = (ops.OP_LOAD, head)
+        entry_mask = self._ENTRY_MASK
+        tag_mask = self._TAG_MASK
+        tag_shift = self._TAG_SHIFT
+        randbelow = rng_randbelow(ctx.rng)
         while True:
-            word = yield ops.load(head)
-            top = word & self._ENTRY_MASK
-            tag = (word >> self._TAG_SHIFT) & self._TAG_MASK
+            word = yield load_head
+            top = word & entry_mask
+            tag = (word >> tag_shift) & tag_mask
             yield ops.store(block + HDR, top)
-            new = (((tag + 1) & self._TAG_MASK) << self._TAG_SHIFT) | (block + 1)
-            old = yield ops.atomic_cas(head, word, new)
+            new = (((tag + 1) & tag_mask) << tag_shift) | (block + 1)
+            old = yield (ops.OP_CAS, head, word, new)
             if old == word:
                 return
-            yield ops.sleep(ctx.rng.randrange(backoff))
+            yield (ops.OP_SLEEP, randbelow(backoff))
             if backoff < 8192:
                 backoff <<= 1
 
     def _pop(self, ctx: ThreadCtx, head: int):
         backoff = 8
+        load_head = (ops.OP_LOAD, head)
+        entry_mask = self._ENTRY_MASK
+        tag_mask = self._TAG_MASK
+        tag_shift = self._TAG_SHIFT
+        randbelow = rng_randbelow(ctx.rng)
         while True:
-            word = yield ops.load(head)
-            top = word & self._ENTRY_MASK
+            word = yield load_head
+            top = word & entry_mask
             if top == 0:
                 return _NULL
-            tag = (word >> self._TAG_SHIFT) & self._TAG_MASK
+            tag = (word >> tag_shift) & tag_mask
             block = top - 1
-            nxt = yield ops.load(block + HDR)
-            new = (((tag + 1) & self._TAG_MASK) << self._TAG_SHIFT) | (nxt & self._ENTRY_MASK)
-            old = yield ops.atomic_cas(head, word, new)
+            nxt = yield (ops.OP_LOAD, block + HDR)
+            new = (((tag + 1) & tag_mask) << tag_shift) | (nxt & entry_mask)
+            old = yield (ops.OP_CAS, head, word, new)
             if old == word:
                 return block
-            yield ops.sleep(ctx.rng.randrange(backoff))
+            yield (ops.OP_SLEEP, randbelow(backoff))
             if backoff < 8192:
                 backoff <<= 1
 

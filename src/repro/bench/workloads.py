@@ -12,6 +12,7 @@ import random
 from typing import Callable, List, Optional, Sequence
 
 from ..sim import ops
+from ..sim.device import rng_randbelow
 from ..sim.memory import DeviceMemory
 
 _NULL = DeviceMemory.NULL
@@ -46,14 +47,17 @@ def churn(allocator, sizes: Sequence[int], iters: int,
 
     def kernel(ctx):
         failures = 0
+        randbelow = rng_randbelow(ctx.rng)
+        nsizes = len(sizes)
+        tid = ctx.tid
         for i in range(iters):
-            size = sizes[(ctx.tid + i) % len(sizes)]
+            size = sizes[(tid + i) % nsizes]
             p = yield from allocator.malloc(ctx, size)
             if p == _NULL:
                 failures += 1
                 yield ops.cpu_yield()
                 continue
-            yield ops.sleep(ctx.rng.randrange(hold_cycles))
+            yield (ops.OP_SLEEP, randbelow(hold_cycles))
             yield from allocator.free(ctx, p)
         out.append(failures)
 

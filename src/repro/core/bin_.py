@@ -34,7 +34,7 @@ The chunk header occupies the same 128 bytes at the start of bin 0:
 from __future__ import annotations
 
 from ..sim import ops
-from ..sim.device import ThreadCtx
+from ..sim.device import ThreadCtx, rng_randbelow
 from ..sim.errors import SimError
 from ..sim.memory import DeviceMemory
 from .config import AllocatorConfig
@@ -133,14 +133,15 @@ class BinOps:
         not a CAS loop: hot bins serve thousands of concurrent claims
         and a CAS loop would collapse (see bulk_semaphore.py).
         """
-        count = yield ops.load(bin_addr + COUNT_OFF)
+        count_addr = bin_addr + COUNT_OFF
+        count = yield (ops.OP_LOAD, count_addr)
         if count == 0 or count >= RETIRED:
             return None
-        cap = yield ops.load(bin_addr + CAPACITY_OFF)
-        old = yield ops.atomic_sub(bin_addr + COUNT_OFF, 1)
+        cap = yield (ops.OP_LOAD, bin_addr + CAPACITY_OFF)
+        old = yield (ops.OP_ADD, count_addr, _ALL_ONES)  # atomic_sub(count, 1)
         if not (1 <= old <= cap):
             # empty, retired, or transiently overdrawn: undo and give up
-            yield ops.atomic_add(bin_addr + COUNT_OFF, 1)
+            yield (ops.OP_ADD, count_addr, 1)
             return None
         idx = yield from self._claim_bit(ctx, bin_addr)
         return idx, old == 1
@@ -150,7 +151,8 @@ class BinOps:
         reservation so one is guaranteed to turn up."""
         cap = yield ops.load(bin_addr + CAPACITY_OFF)
         nwords = (cap + 63) // 64
-        start = ctx.rng.randrange(nwords)
+        randbelow = rng_randbelow(ctx.rng)
+        start = randbelow(nwords)
         while True:
             for i in range(nwords):
                 w = (start + i) % nwords
@@ -165,7 +167,7 @@ class BinOps:
                     # would serialize into retry waves (the collision
                     # problem ScatterAlloc's hashing solves, paper §2.2).
                     nfree = free.bit_count()
-                    pick = ctx.rng.randrange(nfree)
+                    pick = randbelow(nfree)
                     for _ in range(pick):
                         free &= free - 1  # drop lowest set bit
                     bit = free & (-free)

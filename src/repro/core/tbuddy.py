@@ -38,7 +38,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..sim import ops
-from ..sim.device import ThreadCtx
+from ..sim.device import ThreadCtx, rng_randbelow
 from ..sim.errors import SimError
 from ..sim.memory import DeviceMemory
 from ..sync.bulk_semaphore import C_GUARD, BulkSemaphore
@@ -144,16 +144,19 @@ class TBuddy:
     def _lock(self, ctx: ThreadCtx, node: int):
         addr = self._naddr(node)
         backoff = 16
+        load_op = (ops.OP_LOAD, addr)
+        OP_CAS = ops.OP_CAS
+        randbelow = rng_randbelow(ctx.rng)
         while True:
-            word = yield ops.load(addr)
+            word = yield load_op
             if not (word & LOCK_BIT):
-                old = yield ops.atomic_cas(addr, word, word | LOCK_BIT)
+                old = yield (OP_CAS, addr, word, word | LOCK_BIT)
                 if old == word:
                     if ctx.fault is not None:
                         # stall site: hold the node lock for extra cycles
                         yield ops.fault_point("tbuddy.lock", node)
                     return old  # pre-lock word value
-            yield ops.sleep(ctx.rng.randrange(backoff))
+            yield (ops.OP_SLEEP, randbelow(backoff))
             if backoff < 1024:
                 backoff <<= 1
 

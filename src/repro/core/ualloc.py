@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..sim import ops
-from ..sim.device import ThreadCtx
+from ..sim.device import ThreadCtx, rng_randbelow
 from ..sim.memory import DeviceMemory
 from .arena import Arena, SizeClass
 from .bin_ import (
@@ -213,17 +213,28 @@ class UAlloc:
         semaphore stage guaranteed a free block exists (or is about to be
         published), so this loops until it finds one."""
         backoff = 32
+        # Hot path: inline the DList hops (one load each) and bind the
+        # per-iteration callables out of the loop.  The op sequence is
+        # identical to the method-based traversal.
+        bins = sc.bins
+        head = bins.head
+        next_off = bins.next_off
+        _load = ops.OP_LOAD
+        try_take = self.binops.try_take
+        randbelow = rng_randbelow(ctx.rng)
+        read_lock = arena.rcu.read_lock
+        read_unlock = arena.rcu.read_unlock
         while True:
-            idx = yield from arena.rcu.read_lock(ctx)
-            node = yield from sc.bins.first(ctx)
+            idx = yield from read_lock(ctx)
+            node = yield (_load, head + next_off)
             got = None
-            while not sc.bins.is_end(node):
-                res = yield from self.binops.try_take(ctx, node)
+            while node != head:
+                res = yield from try_take(ctx, node)
                 if res is not None:
                     got = (node, res[0], res[1])
                     break
-                node = yield from sc.bins.next(ctx, node)
-            yield from arena.rcu.read_unlock(ctx, idx)
+                node = yield (_load, node + next_off)
+            yield from read_unlock(ctx, idx)
             if got is not None:
                 bin_addr, index, took_last = got
                 if took_last:
@@ -231,7 +242,7 @@ class UAlloc:
                 chunk = yield ops.load(bin_addr + CHUNK_OFF)
                 bin_index = (bin_addr - chunk) // self.cfg.bin_size
                 return self.layout.block_addr(chunk, bin_index, sc.size, index)
-            yield ops.sleep(ctx.rng.randrange(backoff))
+            yield (ops.OP_SLEEP, randbelow(backoff))
             if backoff < 4096:
                 backoff <<= 1
 
@@ -266,13 +277,20 @@ class UAlloc:
 
     def _claim_bin_from_chunks(self, ctx: ThreadCtx, arena: Arena):
         backoff = 32
+        # Inlined chunk-list hops; op sequence identical to the
+        # method-based walk (see _take_from_lists).
+        chunks = arena.chunks
+        head = chunks.head
+        next_off = chunks.next_off
+        _load = ops.OP_LOAD
+        randbelow = rng_randbelow(ctx.rng)
         while True:
             idx = yield from arena.rcu.read_lock(ctx)
-            node = yield from arena.chunks.first(ctx)
+            node = yield (_load, head + next_off)
             claimed = None
-            while not arena.chunks.is_end(node):
+            while node != head:
                 while True:
-                    word = yield ops.load(node + CH_BITMAP_OFF)
+                    word = yield (_load, node + CH_BITMAP_OFF)
                     if word == _ALL_ONES:
                         break
                     free = (~word) & _ALL_ONES
@@ -283,11 +301,11 @@ class UAlloc:
                         break
                 if claimed is not None:
                     break
-                node = yield from arena.chunks.next(ctx, node)
+                node = yield (_load, node + next_off)
             yield from arena.rcu.read_unlock(ctx, idx)
             if claimed is not None:
                 return claimed
-            yield ops.sleep(ctx.rng.randrange(backoff))
+            yield (ops.OP_SLEEP, randbelow(backoff))
             if backoff < 4096:
                 backoff <<= 1
 

@@ -1,0 +1,18 @@
+"""Parallel deck execution: multiprocess sharding with deterministic merge.
+
+The simulator is single-threaded Python, so a deck of independent cases
+(benchmark cases, verify sweeps, resilience plans) is embarrassingly
+parallel across *processes*.  Each case constructs its own simulator
+from a seed, so sharding cannot perturb results — the contract, enforced
+by tests, is that a sharded run's merged output is byte-identical to the
+serial run's, independent of worker count and completion order.
+
+:mod:`repro.par.pool` holds the sharding engine (:func:`map_sharded`);
+:mod:`repro.par.cli` is the ``python -m repro par`` front end.  The
+``perf run``, ``verify`` and ``resil run`` CLIs each take ``--workers N``
+and shard through the same engine.
+"""
+
+from .pool import map_sharded, resolve_workers
+
+__all__ = ["map_sharded", "resolve_workers"]

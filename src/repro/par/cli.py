@@ -1,0 +1,90 @@
+"""``python -m repro par`` — parallel front end for the deck runners.
+
+Usage::
+
+    python -m repro par probe                    # CPUs, start method, default workers
+    python -m repro par perf --quick             # = perf run --quick --workers auto
+    python -m repro par verify --smoke           # = verify --smoke --workers auto
+    python -m repro par resil --tier quick       # = resil run ... --workers auto
+    python -m repro par --workers 2 verify       # explicit worker count
+
+``par <subsystem> [args...]`` forwards to the subsystem's own CLI with
+``--workers`` injected, so every flag the serial CLI accepts works here
+unchanged.  The determinism contract is the subsystem runners': sharded
+results are merged in canonical deck order and are identical to a
+serial run's (``wall:seconds`` excepted — it measures a time-shared
+host under sharding).
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import sys
+from typing import List, Optional
+
+from .pool import preferred_start_method, resolve_workers
+
+#: subsystem name -> (description, argv prefix injected before the
+#: forwarded arguments)
+_SUBSYSTEMS = {
+    "perf": ("benchmark suite (perf run)", ["run"]),
+    "verify": ("concurrency verification sweep", []),
+    "resil": ("fault-injection resilience deck (resil run)", ["run"]),
+}
+
+
+def _cmd_probe() -> int:
+    cpus = os.cpu_count() or 1
+    print(f"cpus:                 {cpus}")
+    print(f"start methods:        "
+          f"{', '.join(multiprocessing.get_all_start_methods())}")
+    print(f"preferred start:      {preferred_start_method()}")
+    print(f"default workers:      {resolve_workers(0)} (auto = min(cpus, 8))")
+    if cpus == 1:
+        print("note: single-CPU host — sharding keeps the determinism "
+              "contract but yields no wall-clock speedup here")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro par",
+        description="Run a perf/verify/resil deck sharded across worker "
+                    "processes, with results merged deterministically in "
+                    "canonical deck order.",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes (default 0 = one per CPU, capped at 8)",
+    )
+    parser.add_argument(
+        "subsystem", choices=sorted(_SUBSYSTEMS) + ["probe"],
+        help="deck runner to shard, or 'probe' to inspect the host",
+    )
+    parser.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="arguments forwarded verbatim to the subsystem CLI",
+    )
+    args = parser.parse_args(argv)
+
+    if args.subsystem == "probe":
+        if args.rest:
+            parser.error("probe takes no further arguments")
+        return _cmd_probe()
+
+    workers = resolve_workers(args.workers)
+    _, prefix = _SUBSYSTEMS[args.subsystem]
+    forwarded = prefix + list(args.rest) + ["--workers", str(workers)]
+    if args.subsystem == "perf":
+        from ..perf.cli import main as sub_main
+    elif args.subsystem == "verify":
+        from ..verify.cli import main as sub_main
+    else:
+        from ..resil.cli import main as sub_main
+    return sub_main(forwarded)
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro par is the entry
+    sys.exit(main())

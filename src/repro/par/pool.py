@@ -1,0 +1,102 @@
+"""Process-pool sharding with a deterministic, order-preserving merge.
+
+Design constraints (why this is not just ``Pool.map``):
+
+* **Canonical merge order.**  Results are returned in *submission*
+  order, never completion order — the caller's deck order is the
+  canonical order, and a sharded run must be indistinguishable from the
+  serial run.  Completion order is surfaced only through the ``log``
+  progress callback, which is explicitly ephemeral.
+* **Inline fallback.**  ``workers <= 1`` (or a single-item deck) runs in
+  the calling process with no executor, no pickling and no forked
+  children — the serial path stays the reference implementation, and
+  environments without working multiprocessing lose nothing.
+* **Fork preferred.**  The fork start method inherits the registry
+  modules (benchmark lambdas and scenario closures need never pickle);
+  ``spawn`` is the fallback where fork is unavailable.  Only the worker
+  *function and items* must pickle, so callers shard by name/spec, not
+  by closure.
+* **Fail loudly.**  A worker exception cancels the remaining shards and
+  re-raises in the parent; a sharded run never silently drops a case.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["map_sharded", "resolve_workers", "preferred_start_method"]
+
+
+def preferred_start_method() -> str:
+    """``fork`` where the platform offers it, else ``spawn``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def resolve_workers(workers: int = 0) -> int:
+    """Normalize a ``--workers`` value to a concrete worker count.
+
+    ``0`` (the CLI default) means *auto*: one worker per CPU, capped at
+    8 — decks are short, and past that the fork/import overhead beats
+    the parallelism.  Negative values are an error; any positive value
+    is taken literally (``1`` = serial inline execution).
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (got {workers})")
+    if workers == 0:
+        return min(os.cpu_count() or 1, 8)
+    return workers
+
+
+def map_sharded(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: int = 0,
+    log: Optional[Callable[[str], None]] = None,
+    label: Callable[[Any], str] = str,
+) -> List[Any]:
+    """Apply ``fn`` to every item, sharded across worker processes.
+
+    Returns ``[fn(item) for item in items]`` — same values, same order —
+    regardless of ``workers``.  With ``workers > 1`` the items fan out
+    over a process pool and the results are merged back by submission
+    index, so worker scheduling can never reorder (or drop) a result.
+
+    ``fn`` and each item must be picklable when ``workers > 1`` (use a
+    module-level function or :func:`functools.partial` over one; shard
+    by case *name* or *spec*, not by closure).  ``log``, when given,
+    receives one progress line per completed item in completion order.
+    """
+    n = len(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or n <= 1:
+        results = []
+        for i, item in enumerate(items):
+            results.append(fn(item))
+            if log is not None:
+                log(f"  [{i + 1}/{n}] {label(item)}")
+        return results
+
+    ctx = multiprocessing.get_context(preferred_start_method())
+    results: List[Any] = [None] * n
+    done_count = 0
+    with ProcessPoolExecutor(max_workers=min(workers, n),
+                             mp_context=ctx) as pool:
+        futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+        pending = set(futures)
+        try:
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for fut in finished:
+                    i = futures[fut]
+                    results[i] = fut.result()  # re-raises worker exceptions
+                    done_count += 1
+                    if log is not None:
+                        log(f"  [{done_count}/{n}] {label(items[i])}")
+        except BaseException:
+            for fut in pending:
+                fut.cancel()
+            raise
+    return results

@@ -5,6 +5,7 @@ Usage::
     python -m repro perf run --quick            # CI tier, ~seconds
     python -m repro perf run --full             # paper-scale, ~minutes
     python -m repro perf run --quick --case fig5 --case shootout
+    python -m repro perf run --quick --workers 4   # shard cases (see par)
     python -m repro perf compare                # latest BENCH_* vs previous
     python -m repro perf compare --current /tmp/now.json \\
                                  --baseline BENCH_PR3.json --no-gate-wall
@@ -35,7 +36,7 @@ def _cmd_run(args) -> int:
     label = args.label or artifact.next_label(root)
     out = Path(args.out) if args.out else root / f"BENCH_{label}.json"
     suite = run_suite(tier, names=args.case or None, repeats=args.repeats,
-                      progress=print)
+                      progress=print, workers=args.workers)
     doc = artifact.suite_to_doc(suite, label)
     artifact.write_artifact(out, doc)
     print(f"\nartifact: {out} (schema {artifact.SCHEMA}, tier {tier}, "
@@ -149,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--repeats", type=int, default=None,
                        help="wall-clock repeats per case (default: 3 quick, "
                             "1 full)")
+    p_run.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="shard cases across N worker processes "
+                            "(0 = one per CPU; default 1 = serial). "
+                            "Virtual metrics are identical either way; "
+                            "wall:seconds reflects a time-shared host, so "
+                            "record committed baselines serially")
     p_run.add_argument("--root", default=".",
                        help="repo root holding the BENCH_* trajectory")
     p_run.add_argument("--results-dir", default="results",

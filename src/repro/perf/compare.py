@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..bench.reporting import format_table, si, signed_pct
 
@@ -32,6 +32,15 @@ LOWER_BETTER_MARKERS = ("seconds", "cycles", "overhead", "failure",
 #: default allowed fractional worsening per metric class
 DEFAULT_VIRTUAL_TOL = 0.10
 DEFAULT_WALL_TOL = 0.50
+
+#: denominator floor for wall-clock deltas: a baseline wall below timer
+#: resolution must not turn a microseconds-level jitter into an
+#: infinite (or astronomically large) "regression"
+WALL_FLOOR_SECONDS = 1e-6
+
+#: synthetic per-artifact row: the sum of every case's wall:seconds —
+#: the deck's end-to-end host cost, the metric sharding improves
+DECK_CASE = "(deck)"
 
 
 class CompareError(ValueError):
@@ -63,15 +72,24 @@ class Delta:
     status: str       # "ok" | "regression" | "improved" | "new" | "gone"
 
 
-def _worsening(baseline: float, current: float, lower_better: bool) -> float:
-    """Signed fractional worsening of ``current`` relative to ``baseline``."""
+def _worsening(baseline: float, current: float, lower_better: bool,
+               floor: float = 0.0) -> float:
+    """Signed fractional worsening of ``current`` relative to ``baseline``.
+
+    ``floor`` clamps the denominator: wall-clock metrics use
+    :data:`WALL_FLOOR_SECONDS` so a sub-resolution baseline (a case so
+    fast the timer reads ~0) yields a large-but-finite delta instead of
+    ``inf`` / a zero-division — those rows should read as noise against
+    the wall tolerance, not explode the gate.
+    """
     if baseline == current:
         return 0.0
-    if baseline == 0:
+    denom = max(abs(baseline), floor)
+    if denom == 0:
         # a metric appearing from zero: worse iff it moved the bad way
         worse = current > 0 if lower_better else current < 0
         return math.inf if worse else -math.inf
-    frac = (current - baseline) / abs(baseline)
+    frac = (current - baseline) / denom
     return frac if lower_better else -frac
 
 
@@ -112,7 +130,8 @@ def compare_docs(current: dict, baseline: dict, *,
                     status="new" if base is None else "gone",
                 ))
                 continue
-            worsening = _worsening(base, cur, lower_is_better(metric))
+            floor = WALL_FLOOR_SECONDS if klass == "wall" else 0.0
+            worsening = _worsening(base, cur, lower_is_better(metric), floor)
             tol = tols[klass]
             if gated and worsening > tol:
                 status = "regression"
@@ -123,7 +142,38 @@ def compare_docs(current: dict, baseline: dict, *,
             deltas.append(Delta(case=case, metric=metric, baseline=base,
                                 current=cur, worsening=worsening,
                                 klass=klass, gated=gated, status=status))
+    deck = _deck_delta(cur_cases, base_cases, wall_tol, gate_wall)
+    if deck is not None:
+        deltas.append(deck)
     return deltas
+
+
+def _deck_delta(cur_cases: Dict[str, dict], base_cases: Dict[str, dict],
+                wall_tol: float, gate_wall: bool) -> "Optional[Delta]":
+    """The synthetic ``(deck)`` row: summed ``wall:seconds`` per side.
+
+    Reported only when both artifacts cover the *same* multi-case set —
+    a partial run's deck total would compare different workloads, and a
+    single-case artifact's total is just that case again.  The row is
+    informational (never gated): per-case walls already gate, and the
+    total exists to make end-to-end deck cost — the thing ``--workers``
+    and scheduler work improve — visible in one line.
+    """
+    if set(cur_cases) != set(base_cases) or len(cur_cases) < 2:
+        return None
+    sums = []
+    for cases in (cur_cases, base_cases):
+        walls = [c.get("metrics", {}).get("wall:seconds") for c in cases.values()]
+        if any(w is None for w in walls):
+            return None
+        sums.append(float(sum(walls)))
+    cur_sum, base_sum = sums
+    worsening = _worsening(base_sum, cur_sum, lower_better=True,
+                           floor=WALL_FLOOR_SECONDS)
+    status = "improved" if worsening < -wall_tol else "ok"
+    return Delta(case=DECK_CASE, metric="wall:seconds", baseline=base_sum,
+                 current=cur_sum, worsening=worsening, klass="wall",
+                 gated=False, status=status)
 
 
 def has_regressions(deltas: List[Delta]) -> bool:

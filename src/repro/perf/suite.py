@@ -35,6 +35,7 @@ everything else (throughput, speedup) is higher-is-better.
 
 from __future__ import annotations
 
+import functools
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -350,10 +351,28 @@ def run_case(case: BenchCase, tier: str = "quick",
                    wall_seconds=walls, metrics=out, params=params)
 
 
+def _run_case_named(name: str, tier: str, repeats: Optional[int]) -> CaseRun:
+    """Module-level shard worker: run one registered case by *name*.
+
+    ``BenchCase`` runners are lambdas and cannot cross a process
+    boundary; the name can, and every worker rebuilds the registry on
+    import — so this is the picklable unit :func:`run_suite` shards.
+    """
+    return run_case(CASES[name], tier, repeats)
+
+
 def run_suite(tier: str = "quick", names: Optional[Sequence[str]] = None,
               repeats: Optional[int] = None,
-              progress: Optional[Callable[[str], None]] = None) -> SuiteResult:
-    """Run the registered cases (all, or the ``names`` subset) at a tier."""
+              progress: Optional[Callable[[str], None]] = None,
+              workers: int = 1) -> SuiteResult:
+    """Run the registered cases (all, or the ``names`` subset) at a tier.
+
+    ``workers > 1`` shards the cases across processes via
+    :func:`repro.par.pool.map_sharded`; the merged result is identical
+    to the serial run's (cases are seeded and independent), except that
+    ``wall:seconds`` reflects a time-shared host — artifacts meant as
+    wall-clock baselines should be recorded serially.
+    """
     if names is None:
         selected = list(CASES.values())
     else:
@@ -364,6 +383,19 @@ def run_suite(tier: str = "quick", names: Optional[Sequence[str]] = None,
             )
         selected = [CASES[n] for n in names]
     result = SuiteResult(tier=tier)
+    if workers > 1 and len(selected) > 1:
+        from ..par.pool import map_sharded, resolve_workers
+
+        if progress:
+            progress(f"[{tier}] sharding {len(selected)} case(s) across "
+                     f"{resolve_workers(workers)} worker(s) ...")
+        runs = map_sharded(
+            functools.partial(_run_case_named, tier=tier, repeats=repeats),
+            [case.name for case in selected],
+            workers=workers, log=progress,
+        )
+        result.cases.extend(runs)
+        return result
     for case in selected:
         if progress:
             progress(f"[{tier}] {case.name}: {case.description} ...")

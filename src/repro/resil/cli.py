@@ -4,6 +4,7 @@ Usage::
 
     python -m repro resil run --tier quick      # CI smoke deck
     python -m repro resil run --tier full       # nightly deck
+    python -m repro resil run --workers 4       # shard the deck (see par)
     python -m repro resil run --scenario churn  # restrict scenarios
     python -m repro resil run --case 'storm:1:site=tbuddy.split,p=0.5'
     python -m repro resil replay 'storm:1:site=tbuddy.split,p=0.5,max=8'
@@ -89,6 +90,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fail-fast", action="store_true",
         help="stop at the first failing case",
     )
+    p_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the deck across N worker processes (0 = one per "
+             "CPU; default 1 = serial); results merge in deck order and "
+             "are identical to a serial run",
+    )
 
     p_replay = sub.add_parser(
         "replay", help="re-execute one case and print its fault trace"
@@ -148,7 +155,7 @@ def main(argv: Optional[List[str]] = None) -> int:
           + (" (replay check off)" if args.no_replay_check else ""))
     results = run_deck(
         deck, replay_check=not args.no_replay_check,
-        fail_fast=args.fail_fast, log=print,
+        fail_fast=args.fail_fast, log=print, workers=args.workers,
     )
     return _report(results, time.time() - t0)
 

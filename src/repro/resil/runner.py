@@ -24,6 +24,7 @@ assertions on top:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -213,8 +214,33 @@ def deck_for(tier: str) -> List[ResilSpec]:
 
 def run_deck(deck: Sequence[ResilSpec], replay_check: bool = True,
              fail_fast: bool = False,
-             log: Optional[Callable[[str], None]] = None) -> List[ResilResult]:
-    """Run every case in ``deck``; returns all results."""
+             log: Optional[Callable[[str], None]] = None,
+             workers: int = 1) -> List[ResilResult]:
+    """Run every case in ``deck``; returns all results.
+
+    ``workers > 1`` shards the deck across processes.  Every case is
+    self-contained (seeded simulator + deterministic fault plan), so
+    the merged results — returned in deck order, the canonical order —
+    are identical to a serial run's.  A sharded ``fail_fast`` run still
+    executes the whole deck but truncates the returned list at the
+    first failure, preserving the serial contract.
+    """
+    if workers > 1 and len(deck) > 1:
+        from ..par.pool import map_sharded
+
+        results = map_sharded(
+            functools.partial(run_case, replay_check=replay_check),
+            list(deck), workers=workers, log=log,
+            label=lambda s: s.replay,
+        )
+        if log is not None:
+            for res in results:
+                log(res.describe())
+        if fail_fast:
+            for i, res in enumerate(results):
+                if not res.ok:
+                    return results[:i + 1]
+        return results
     results: List[ResilResult] = []
     for spec in deck:
         res = run_case(spec, replay_check=replay_check)

@@ -76,10 +76,35 @@ class ThreadCtx:
     sm: int
     nthreads: int
     block_dim: int
-    rng: random.Random = field(repr=False, default_factory=random.Random)
+    # RNG-ownership contract (the replay guarantee): every draw on a
+    # core path — allocator backoff, scattered traversals, robust-malloc
+    # retries — goes through this per-thread RNG, which the scheduler
+    # seeds from (scenario seed, tid).  Nothing in device code may touch
+    # module-level ``random``.  The default factory is *seeded* so a
+    # ThreadCtx constructed without an explicit rng (host tests, ad-hoc
+    # harnesses) is still deterministic instead of silently drawing
+    # OS entropy and breaking byte-for-byte replay.
+    rng: random.Random = field(repr=False,
+                               default_factory=lambda: random.Random(0))
     trace: object = field(repr=False, default=None, compare=False)
     fault: object = field(repr=False, default=None, compare=False)
 
     def is_warp_leader_of(self, mask: frozenset) -> bool:
         """True if this thread is the elected leader of converged ``mask``."""
         return self.lane == min(mask)
+
+
+def rng_randbelow(rng: random.Random):
+    """Return the cheapest exact equivalent of ``rng.randrange`` for a
+    positive integer bound.
+
+    CPython's ``Random.randrange(stop)`` validates its arguments and then
+    delegates straight to ``Random._randbelow(stop)``, so for the hot
+    backoff loops (one draw per spin iteration) binding the inner method
+    skips one wrapper frame per draw while producing the *identical*
+    random stream — replay and byte-for-byte report parity are
+    unaffected.  Falls back to ``randrange`` on implementations without
+    the private helper.  Callers must only pass bounds >= 1, which is
+    what ``randrange`` would require anyway.
+    """
+    return getattr(rng, "_randbelow", rng.randrange)

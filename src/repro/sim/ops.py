@@ -46,6 +46,11 @@ OP_WARP_MATCH = 15
 OP_WARP_BCAST = 16
 OP_FAULT = 17
 
+#: one past the highest opcode — sizes the scheduler's per-op dispatch
+#: and count tables (which index by opcode instead of hashing dict keys
+#: in the hot loop)
+N_OPCODES = OP_FAULT + 1
+
 #: opcode -> human-readable name (trace labels, ``SimReport.named_op_counts``)
 OP_NAMES = {
     OP_SLEEP: "sleep",
@@ -87,6 +92,13 @@ NO_PAYLOAD = _NoPayload()
 
 Op = Tuple  # an op is a tuple whose first element is an opcode
 
+# Zero-argument ops are immutable and carry no per-call state, so the
+# constructors hand out module-level singletons instead of building a
+# fresh tuple per yield (spin loops yield these millions of times).
+_YIELD_OP = (OP_YIELD,)
+_BARRIER_OP = (OP_BARRIER,)
+_WARP_CONV_OP = (OP_WARP_CONV,)
+
 
 def sleep(cycles: int) -> Op:
     """Advance this thread's clock by ``cycles`` without touching memory."""
@@ -99,7 +111,7 @@ def cpu_yield() -> Op:
     Used in spin loops, mirroring ``nanosleep``/``__nanosleep`` backoff in
     the paper's CUDA implementation.
     """
-    return (OP_YIELD,)
+    return _YIELD_OP
 
 
 def load(addr: int) -> Op:
@@ -168,7 +180,7 @@ def atomic_min(addr: int, value: int) -> Op:
 
 def syncthreads() -> Op:
     """Block-wide barrier.  All *live* threads of the block must arrive."""
-    return (OP_BARRIER,)
+    return _BARRIER_OP
 
 
 def warp_converge() -> Op:
@@ -181,7 +193,7 @@ def warp_converge() -> Op:
     converged lane, from which a leader can be elected deterministically
     (``min(mask)``).
     """
-    return (OP_WARP_CONV,)
+    return _WARP_CONV_OP
 
 
 def warp_sync(mask: frozenset) -> Op:

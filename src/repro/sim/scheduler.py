@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
+from heapq import heappop, heappush, heappushpop
 from types import GeneratorType as Generator
 from typing import Any, Callable, Deque, Dict, List, Optional
 
@@ -48,6 +48,10 @@ _ST_DONE = 3
 
 _TIMER = -1  # sentinel tid for timer events
 
+#: effective event budget when ``run(max_events=None)`` — one compare
+#: per event against a huge int beats a per-event ``is not None`` test
+_NO_BUDGET = 1 << 62
+
 #: Convergence window (cycles): lanes of a warp that request convergence
 #: within this window of the first requester converge together even if
 #: other lanes of the warp are still running.
@@ -56,13 +60,16 @@ WARP_CONV_WINDOW = 96
 
 class _Thread:
     __slots__ = (
-        "tid", "gen", "ctx", "state", "clock", "pending", "inbox",
+        "tid", "gen", "send", "ctx", "state", "clock", "pending", "inbox",
         "block", "warp", "retval", "park_time",
     )
 
     def __init__(self, tid: int, gen, ctx: ThreadCtx, block: "_Block", warp: "_Warp"):
         self.tid = tid
         self.gen = gen
+        # bound ``gen.send`` — the run loops call it once per event, and
+        # reading one slot beats an attribute lookup plus a method bind
+        self.send = gen.send
         self.ctx = ctx
         self.state = _ST_READY
         self.clock = 0
@@ -125,9 +132,11 @@ class SimReport:
     def named_op_counts(self) -> Dict[str, int]:
         """Op counts keyed by opcode *name* (``atomic_add``, ``load``,
         ...), descending by count — the human-readable view of
-        :attr:`op_counts`."""
-        items = sorted(self.op_counts.items(), key=lambda kv: -kv[1])
-        return {_ops.OP_NAMES.get(k, f"op{k}"): v for k, v in items}
+        :attr:`op_counts`.  Equal counts tie-break on the name so the
+        ordering is deterministic, not dict-insertion-order."""
+        named = [(_ops.OP_NAMES.get(k, f"op{k}"), v)
+                 for k, v in self.op_counts.items()]
+        return dict(sorted(named, key=lambda kv: (-kv[1], kv[0])))
 
     @property
     def seconds(self) -> float:
@@ -205,9 +214,35 @@ class Scheduler:
         self._sm_resident: List[int] = [0] * device.num_sms
         self._now = 0
         self._events = 0
-        self._op_counts: Dict[int, int] = {}
+        # Per-opcode event counts, indexed by opcode.  A flat list is
+        # measurably cheaper than a dict in the hot loop; zero entries
+        # are dropped when the counts are exposed as a dict.
+        self._op_counts: List[int] = [0] * _ops.N_OPCODES
         self._live_threads = 0
         self._next_block_sm = 0
+        # Precompiled dispatch tables (the hot loop indexes these by
+        # opcode instead of walking if/elif chains).
+        # 1) binary atomics: opcode -> bound DeviceMemory method taking
+        #    (addr, operand); CAS/load/store have distinct arities or
+        #    latencies and keep dedicated branches.
+        tab: List[Any] = [None] * _ops.N_OPCODES
+        tab[_ops.OP_ADD] = memory.add_word
+        tab[_ops.OP_EXCH] = memory.exch_word
+        tab[_ops.OP_AND] = memory.and_word
+        tab[_ops.OP_OR] = memory.or_word
+        tab[_ops.OP_XOR] = memory.xor_word
+        tab[_ops.OP_MAX] = memory.max_word
+        tab[_ops.OP_MIN] = memory.min_word
+        self._atomic_exec = tab
+        # 2) parking/control ops: opcode -> handler(th, op_tuple, t).
+        self._park_dispatch: Dict[int, Callable] = {
+            _ops.OP_BARRIER: self._op_barrier,
+            _ops.OP_WARP_CONV: self._op_warp_conv,
+            _ops.OP_WARP_SYNC: self._op_warp_sync,
+            _ops.OP_WARP_MATCH: self._op_warp_match,
+            _ops.OP_WARP_BCAST: self._op_warp_bcast,
+            _ops.OP_FAULT: self._op_fault,
+        }
         # contention telemetry: word index -> atomic op count
         self.track_contention = track_contention
         self._word_ops: Dict[int, int] = {}
@@ -333,109 +368,123 @@ class Scheduler:
 
         ``max_events`` bounds the number of scheduler events (a livelock
         guard for tests); exceeding it raises :class:`DeadlockError`.
+
+        Two loop implementations execute the identical event protocol:
+        the *fast path* (no tracer attached) carries zero telemetry
+        tests or construction in its inner loop, while the *traced
+        path* reports every event into the tracer.  Virtual results —
+        cycles, events, op counts, memory effects, thread return values
+        — are bit-identical between the two (pinned by the tracer-parity
+        tests); only host wall time differs.
+        """
+        if self.tracer is None:
+            return self._run_fast(max_events)
+        return self._run_traced(max_events)
+
+    def _run_fast(self, max_events: Optional[int]) -> SimReport:
+        """Hot loop with no tracer attached.
+
+        Beyond skipping telemetry entirely, this loop inlines the event
+        push as a *deferred entry* resolved by ``heappushpop`` at the
+        top of the next iteration (one sift instead of two, and O(1)
+        when the deferred event is next anyway), indexes precompiled
+        dispatch tables instead of if/elif chains, and keeps the event
+        sequence number and clock in locals — synchronizing them back
+        to the instance only around the rare park/finish/timer paths
+        that reenter scheduler helpers.
         """
         cm = self.cost_model
         mem = self.memory
         heap = self._heap
         threads = self._threads
         word_avail = self._word_avail
-        op_counts = self._op_counts
-        tracer = self.tracer
-        # Optional per-memory-op verification hook (None on the plain
-        # Tracer; RaceChecker and friends override it with a method).
-        mem_hook = tracer.mem_op if tracer is not None else None
+        word_avail_get = word_avail.get
+        counts = self._op_counts
         atomic_service = cm.atomic_service
         atomic_latency = cm.atomic_latency
         load_latency = cm.load_latency
         store_latency = cm.store_latency
         step_cost = cm.step_cost
+        yield_cost = cm.yield_cost
+        load_word = mem.load_word
+        store_word = mem.store_word
+        cas_word = mem.cas_word
+        atomic_exec = self._atomic_exec
+        park_get = self._park_dispatch.get
+        track = self.track_contention
+        word_ops = self._word_ops
+        _pop = heappop
+        _pushpop = heappushpop
+        budget = max_events if max_events is not None else _NO_BUDGET
 
         OP_SLEEP = _ops.OP_SLEEP
         OP_LOAD = _ops.OP_LOAD
-        OP_STORE = _ops.OP_STORE
         OP_CAS = _ops.OP_CAS
-        OP_ADD = _ops.OP_ADD
-        OP_EXCH = _ops.OP_EXCH
-        OP_AND = _ops.OP_AND
-        OP_OR = _ops.OP_OR
-        OP_XOR = _ops.OP_XOR
-        OP_MAX = _ops.OP_MAX
         OP_MIN = _ops.OP_MIN
-        OP_BARRIER = _ops.OP_BARRIER
-        OP_WARP_CONV = _ops.OP_WARP_CONV
         OP_YIELD = _ops.OP_YIELD
-        OP_WARP_SYNC = _ops.OP_WARP_SYNC
-        OP_WARP_MATCH = _ops.OP_WARP_MATCH
-        OP_WARP_BCAST = _ops.OP_WARP_BCAST
-        OP_FAULT = _ops.OP_FAULT
 
         events = self._events
-        while heap:
-            entry = heappop(heap)
-            t = entry[0]
-            tid = entry[2]
-            self._now = t
-            events += 1
-            if max_events is not None and events > max_events:
-                raise DeadlockError(
-                    f"exceeded event budget {max_events} "
-                    f"({self._live_threads} threads still live)"
-                )
-            if tid == _TIMER:
-                entry[3](t)
-                continue
-            th = threads[tid]
-            op = th.pending
-            resume_at = t
-            result: Any = None
-            if op is not None:
-                code = op[0]
-                op_counts[code] = op_counts.get(code, 0) + 1
-                if OP_CAS <= code <= OP_MIN:
-                    addr = op[1]
-                    if code == OP_CAS:
-                        result = mem.cas_word(addr, op[2], op[3])
-                    elif code == OP_ADD:
-                        result = mem.add_word(addr, op[2])
-                    elif code == OP_EXCH:
-                        result = mem.exch_word(addr, op[2])
-                    elif code == OP_AND:
-                        result = mem.and_word(addr, op[2])
-                    elif code == OP_OR:
-                        result = mem.or_word(addr, op[2])
-                    elif code == OP_XOR:
-                        result = mem.xor_word(addr, op[2])
-                    elif code == OP_MAX:
-                        result = mem.max_word(addr, op[2])
-                    else:
-                        result = mem.min_word(addr, op[2])
-                    resume_at = t + atomic_latency
-                elif code == OP_LOAD:
-                    result = mem.load_word(op[1])
-                    resume_at = t + load_latency
-                elif code == OP_STORE:
-                    mem.store_word(op[1], op[2])
-                    resume_at = t + store_latency
-                else:  # pragma: no cover - defensive
-                    raise InvalidOp(f"unexpected pending op {op!r}")
-                th.pending = None
-                if tracer is not None:
-                    tracer.op_executed(th, code, t, resume_at - t)
-                    if mem_hook is not None:
-                        mem_hook(th, op, t, result)
-            else:
-                result = th.inbox
-                th.inbox = None
-
-            # Resume the generator and classify its next op.
+        seq = self._seq
+        now = self._now
+        deferred = None  # single pending push, resolved by heappushpop
+        try:
             while True:
-                th.clock = resume_at
+                if deferred is not None:
+                    entry = _pushpop(heap, deferred) if heap else deferred
+                    deferred = None
+                elif heap:
+                    entry = _pop(heap)
+                else:
+                    break
+                t = entry[0]
+                tid = entry[2]
+                now = t
+                events += 1
+                if events > budget:
+                    raise DeadlockError(
+                        f"exceeded event budget {max_events} "
+                        f"({self._live_threads} threads still live)"
+                    )
+                if tid == _TIMER:
+                    self._seq, self._now = seq, now
+                    entry[3](t)
+                    seq = self._seq
+                    continue
+                th = threads[tid]
+                op = th.pending
+                resume_at = t
+                if op is not None:
+                    code = op[0]
+                    counts[code] += 1
+                    if code >= OP_CAS:      # an atomic (OP_CAS..OP_MIN)
+                        if code != OP_CAS:
+                            result = atomic_exec[code](op[1], op[2])
+                        else:
+                            result = cas_word(op[1], op[2], op[3])
+                        resume_at = t + atomic_latency
+                    elif code == OP_LOAD:
+                        result = load_word(op[1])
+                        resume_at = t + load_latency
+                    else:                   # OP_STORE (the only other pending op)
+                        store_word(op[1], op[2])
+                        resume_at = t + store_latency
+                        result = None
+                    th.pending = None
+                else:
+                    result = th.inbox
+                    th.inbox = None
+
+                # Resume the generator and classify its next op.  (No
+                # ``th.clock`` update here: with no tracer attached,
+                # nothing reads per-thread clocks during the run.)
                 try:
-                    nxt = th.gen.send(result)
+                    nxt = th.send(result)
                 except StopIteration as stop:
                     th.retval = stop.value
+                    self._seq, self._now = seq, now
                     self._finish_thread(th, resume_at)
-                    break
+                    seq = self._seq
+                    continue
                 except Exception as exc:
                     exc.add_note(
                         f"raised in device thread tid={th.tid} "
@@ -449,57 +498,154 @@ class Scheduler:
                         "op tuple from repro.sim.ops"
                     )
                 code = nxt[0]
+                if OP_LOAD <= code <= OP_MIN:
+                    # Memory op: execute at its own heap event.  Atomics
+                    # reserve the target word's next free service slot at
+                    # issue time (FIFO memory-controller queue), so
+                    # same-word contention serializes in O(1) events/op.
+                    th.pending = nxt
+                    exec_at = resume_at + step_cost
+                    if code >= OP_CAS:
+                        waddr = nxt[1] >> 3
+                        avail = word_avail_get(waddr, 0)
+                        if avail > exec_at:
+                            exec_at = avail
+                        word_avail[waddr] = exec_at + atomic_service
+                        if track:
+                            word_ops[waddr] = word_ops.get(waddr, 0) + 1
+                    seq += 1
+                    deferred = (exec_at, seq, tid)
+                    continue
                 if code == OP_SLEEP:
-                    op_counts[code] = op_counts.get(code, 0) + 1
-                    self._push(resume_at + step_cost + nxt[1], tid)
-                    break
+                    counts[OP_SLEEP] += 1
+                    seq += 1
+                    deferred = (resume_at + step_cost + nxt[1], seq, tid)
+                    continue
                 if code == OP_YIELD:
-                    op_counts[code] = op_counts.get(code, 0) + 1
-                    self._push(resume_at + cm.yield_cost, tid)
-                    break
-                if code == OP_BARRIER:
-                    op_counts[code] = op_counts.get(code, 0) + 1
-                    self._park_barrier(th, resume_at)
-                    break
-                if code == OP_WARP_CONV:
-                    op_counts[code] = op_counts.get(code, 0) + 1
-                    self._park_conv(th, resume_at)
-                    break
-                if code == OP_WARP_SYNC:
-                    op_counts[code] = op_counts.get(code, 0) + 1
-                    self._park_warp_sync(th, nxt[1], resume_at)
-                    break
-                if code == OP_WARP_MATCH:
-                    op_counts[code] = op_counts.get(code, 0) + 1
-                    th.warp.conv_keys[th.tid] = nxt[1]
-                    self._park_conv(th, resume_at)
-                    break
-                if code == OP_WARP_BCAST:
-                    op_counts[code] = op_counts.get(code, 0) + 1
-                    self._park_warp_sync(th, nxt[1], resume_at, payload=nxt[2])
-                    break
-                if code == OP_FAULT:
-                    # Fault-injection probe: ask the attached injector
-                    # whether this (site, occurrence) fires.  Fail-type
-                    # faults resume with "fail" so the site takes its
-                    # failure arm; stall-type faults charge the injected
-                    # delay to the thread's clock and resume with None.
-                    op_counts[code] = op_counts.get(code, 0) + 1
-                    inj = self.fault_injector
-                    outcome, delay = (
-                        inj.decide(tid, nxt[1], nxt[2], resume_at)
-                        if inj is not None else (None, 0)
+                    counts[OP_YIELD] += 1
+                    seq += 1
+                    deferred = (resume_at + yield_cost, seq, tid)
+                    continue
+                handler = park_get(code)
+                if handler is None:
+                    raise InvalidOp(
+                        f"device thread {th.tid} yielded unknown op {nxt!r}"
                     )
-                    th.inbox = outcome
-                    self._push(resume_at + step_cost + delay, tid)
-                    break
-                # Memory op: execute at its own heap event.  Atomics
-                # reserve the target word's next free service slot at
-                # issue time (FIFO memory-controller queue), so same-word
-                # contention serializes in O(1) events per op.
+                counts[code] += 1
+                self._seq, self._now = seq, now
+                handler(th, nxt, resume_at)
+                seq = self._seq
+        finally:
+            # Keep instance state coherent even when an exception unwinds
+            # mid-loop (helpers may have advanced _seq past our local).
+            if deferred is not None:
+                heappush(heap, deferred)
+            if seq > self._seq:
+                self._seq = seq
+            self._events = events
+            self._now = now
+        return self._finish_report()
+
+    def _run_traced(self, max_events: Optional[int]) -> SimReport:
+        """Instrumented loop: identical event protocol to
+        :meth:`_run_fast`, plus tracer reporting per event."""
+        cm = self.cost_model
+        mem = self.memory
+        heap = self._heap
+        threads = self._threads
+        word_avail = self._word_avail
+        counts = self._op_counts
+        tracer = self.tracer
+        # Optional per-memory-op verification hook (None on the plain
+        # Tracer; RaceChecker and friends override it with a method).
+        mem_hook = tracer.mem_op
+        atomic_service = cm.atomic_service
+        atomic_latency = cm.atomic_latency
+        load_latency = cm.load_latency
+        store_latency = cm.store_latency
+        step_cost = cm.step_cost
+        cas_word = mem.cas_word
+        load_word = mem.load_word
+        store_word = mem.store_word
+        atomic_exec = self._atomic_exec
+        park_get = self._park_dispatch.get
+        budget = max_events if max_events is not None else _NO_BUDGET
+
+        OP_SLEEP = _ops.OP_SLEEP
+        OP_LOAD = _ops.OP_LOAD
+        OP_CAS = _ops.OP_CAS
+        OP_MIN = _ops.OP_MIN
+        OP_YIELD = _ops.OP_YIELD
+
+        events = self._events
+        while heap:
+            entry = heappop(heap)
+            t = entry[0]
+            tid = entry[2]
+            self._now = t
+            events += 1
+            if events > budget:
+                self._events = events
+                raise DeadlockError(
+                    f"exceeded event budget {max_events} "
+                    f"({self._live_threads} threads still live)"
+                )
+            if tid == _TIMER:
+                entry[3](t)
+                continue
+            th = threads[tid]
+            op = th.pending
+            resume_at = t
+            result: Any = None
+            if op is not None:
+                code = op[0]
+                counts[code] += 1
+                if code >= OP_CAS:
+                    if code != OP_CAS:
+                        result = atomic_exec[code](op[1], op[2])
+                    else:
+                        result = cas_word(op[1], op[2], op[3])
+                    resume_at = t + atomic_latency
+                elif code == OP_LOAD:
+                    result = load_word(op[1])
+                    resume_at = t + load_latency
+                else:
+                    store_word(op[1], op[2])
+                    resume_at = t + store_latency
+                th.pending = None
+                tracer.op_executed(th, code, t, resume_at - t)
+                if mem_hook is not None:
+                    mem_hook(th, op, t, result)
+            else:
+                result = th.inbox
+                th.inbox = None
+
+            # Resume the generator and classify its next op.
+            th.clock = resume_at
+            try:
+                nxt = th.send(result)
+            except StopIteration as stop:
+                th.retval = stop.value
+                self._events = events
+                self._finish_thread(th, resume_at)
+                continue
+            except Exception as exc:
+                exc.add_note(
+                    f"raised in device thread tid={th.tid} "
+                    f"block={th.ctx.block} lane={th.ctx.lane} "
+                    f"at cycle {resume_at}"
+                )
+                raise
+            if type(nxt) is not tuple or not nxt:
+                raise InvalidOp(
+                    f"device thread {th.tid} yielded {nxt!r}; expected an "
+                    "op tuple from repro.sim.ops"
+                )
+            code = nxt[0]
+            if OP_LOAD <= code <= OP_MIN:
                 th.pending = nxt
                 exec_at = resume_at + step_cost
-                if OP_CAS <= code <= OP_MIN:
+                if code >= OP_CAS:
                     waddr = nxt[1] >> 3
                     avail = word_avail.get(waddr, 0)
                     if avail > exec_at:
@@ -507,19 +653,36 @@ class Scheduler:
                     word_avail[waddr] = exec_at + atomic_service
                     if self.track_contention:
                         self._word_ops[waddr] = self._word_ops.get(waddr, 0) + 1
-                    if tracer is not None:
-                        # serialization stall: how long the word's FIFO
-                        # queue pushed this atomic past its issue slot
-                        tracer.atomic_issued(
-                            waddr, exec_at - resume_at - step_cost
-                        )
+                    # serialization stall: how long the word's FIFO
+                    # queue pushed this atomic past its issue slot
+                    tracer.atomic_issued(waddr, exec_at - resume_at - step_cost)
                 self._push(exec_at, tid)
-                break
+                continue
+            if code == OP_SLEEP:
+                counts[OP_SLEEP] += 1
+                self._push(resume_at + step_cost + nxt[1], tid)
+                continue
+            if code == OP_YIELD:
+                counts[OP_YIELD] += 1
+                self._push(resume_at + cm.yield_cost, tid)
+                continue
+            handler = park_get(code)
+            if handler is None:
+                raise InvalidOp(
+                    f"device thread {th.tid} yielded unknown op {nxt!r}"
+                )
+            counts[code] += 1
+            handler(th, nxt, resume_at)
 
         self._events = events
+        return self._finish_report()
+
+    def _finish_report(self) -> SimReport:
+        """Common run epilogue: drain check, report, tracer fold-in."""
         if self._live_threads:
             parked = sum(
-                1 for th in threads if th.state in (_ST_BARRIER, _ST_CONV)
+                1 for th in self._threads
+                if th.state in (_ST_BARRIER, _ST_CONV)
             )
             raise DeadlockError(
                 f"event queue drained with {self._live_threads} live threads "
@@ -527,14 +690,46 @@ class Scheduler:
             )
         report = SimReport(
             cycles=self._now,
-            events=events,
-            n_threads=len(threads),
-            op_counts=dict(op_counts),
-            cost_model=cm,
+            events=self._events,
+            n_threads=len(self._threads),
+            op_counts={c: n for c, n in enumerate(self._op_counts) if n},
+            cost_model=self.cost_model,
         )
-        if tracer is not None:
-            tracer.run_finished(report)
+        if self.tracer is not None:
+            self.tracer.run_finished(report)
         return report
+
+    # ------------------------------------------------------------------
+    # Park/control op handlers (dispatch-table targets)
+    # ------------------------------------------------------------------
+    def _op_barrier(self, th: _Thread, nxt: tuple, t: int) -> None:
+        self._park_barrier(th, t)
+
+    def _op_warp_conv(self, th: _Thread, nxt: tuple, t: int) -> None:
+        self._park_conv(th, t)
+
+    def _op_warp_sync(self, th: _Thread, nxt: tuple, t: int) -> None:
+        self._park_warp_sync(th, nxt[1], t)
+
+    def _op_warp_match(self, th: _Thread, nxt: tuple, t: int) -> None:
+        th.warp.conv_keys[th.tid] = nxt[1]
+        self._park_conv(th, t)
+
+    def _op_warp_bcast(self, th: _Thread, nxt: tuple, t: int) -> None:
+        self._park_warp_sync(th, nxt[1], t, payload=nxt[2])
+
+    def _op_fault(self, th: _Thread, nxt: tuple, t: int) -> None:
+        # Fault-injection probe: ask the attached injector whether this
+        # (site, occurrence) fires.  Fail-type faults resume with "fail"
+        # so the site takes its failure arm; stall-type faults charge
+        # the injected delay to the thread's clock and resume with None.
+        inj = self.fault_injector
+        outcome, delay = (
+            inj.decide(th.tid, nxt[1], nxt[2], t)
+            if inj is not None else (None, 0)
+        )
+        th.inbox = outcome
+        self._push(t + self.cost_model.step_cost + delay, th.tid)
 
     # ------------------------------------------------------------------
     # Thread completion, barriers, convergence
@@ -727,5 +922,7 @@ class Scheduler:
         """
         if not self.track_contention:
             raise ValueError("construct the Scheduler with track_contention=True")
-        top = sorted(self._word_ops.items(), key=lambda kv: -kv[1])[:n]
+        # Tie-break equal counts on the address: the ranking must be
+        # deterministic, not leak dict-insertion (first-touch) order.
+        top = sorted(self._word_ops.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
         return [(waddr << 3, count) for waddr, count in top]

@@ -318,17 +318,21 @@ class Tracer:
     # ------------------------------------------------------------------
     @property
     def named_op_counts(self) -> Dict[str, int]:
-        """Op counts keyed by opcode name, descending by count."""
-        items = sorted(self.op_counts.items(), key=lambda kv: -kv[1])
-        return {_ops.OP_NAMES.get(k, f"op{k}"): v for k, v in items}
+        """Op counts keyed by opcode name, descending by count (equal
+        counts tie-break on the name, deterministically)."""
+        named = [(_ops.OP_NAMES.get(k, f"op{k}"), v)
+                 for k, v in self.op_counts.items()]
+        return dict(sorted(named, key=lambda kv: (-kv[1], kv[0])))
 
     def top_stall_words(self, n: int = 10) -> List[Tuple[int, int, int]]:
         """Top-``n`` atomic targets by total serialization stall.
 
         Returns ``(byte_address, atomic_ops, total_stall_cycles)`` rows —
-        the simulator-wide ranking of contention points.
+        the simulator-wide ranking of contention points.  Equal stall
+        totals tie-break on the address, deterministically.
         """
-        top = sorted(self.word_stats.items(), key=lambda kv: -kv[1][1])[:n]
+        top = sorted(self.word_stats.items(),
+                     key=lambda kv: (-kv[1][1], kv[0]))[:n]
         return [(waddr << 3, ops_n, stall) for waddr, (ops_n, stall) in top]
 
     def occupancy_stats(self) -> List[Tuple[str, int, int, float, int]]:

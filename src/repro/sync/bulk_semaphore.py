@@ -49,7 +49,7 @@ below ``C_GUARD`` (2^21) so borrowed states are recognizable.
 from __future__ import annotations
 
 from ..sim import ops
-from ..sim.device import ThreadCtx
+from ..sim.device import ThreadCtx, rng_randbelow
 from ..sim.errors import SimError
 from ..sim.memory import DeviceMemory
 
@@ -95,7 +95,7 @@ class BulkSemaphore:
     quiescence, when all transient borrows have cancelled).
     """
 
-    __slots__ = ("mem", "addr", "checked", "max_backoff")
+    __slots__ = ("mem", "addr", "checked", "max_backoff", "_op_cache")
 
     def __init__(
         self,
@@ -112,6 +112,10 @@ class BulkSemaphore:
         # identical either way and validated at quiescence by tests.
         self.checked = checked
         self.max_backoff = max_backoff
+        # (n, b) -> the six invariant op tuples wait() yields.  A size
+        # class calls wait() with one (n, b) pair for almost every
+        # malloc, so this caches the whole tuple-build preamble.
+        self._op_cache: dict = {}
 
     # -- device side ---------------------------------------------------
     def _claim(self, n: int):
@@ -132,6 +136,25 @@ class BulkSemaphore:
             raise ValueError(f"wait requires 0 < n <= b (got n={n}, b={b})")
         tr = ctx.trace
         t0 = tr.now(ctx) if tr is not None else 0
+        # Hot path: every op tuple below is invariant in (self.addr, n, b),
+        # so they are built once per (n, b) and cached on the instance;
+        # the unpack() calls are likewise inlined into shift/mask locals.
+        addr = self.addr
+        max_backoff = self.max_backoff
+        randbelow = rng_randbelow(ctx.rng)
+        cached = self._op_cache.get((n, b))
+        if cached is None:
+            take = (n << C_SHIFT) + (n << R_SHIFT)
+            cached = self._op_cache[(n, b)] = (
+                (ops.OP_ADD, addr, (n << R_SHIFT) & _MASK64),
+                (ops.OP_ADD, addr, (-(n << R_SHIFT)) & _MASK64),
+                (ops.OP_LOAD, addr),
+                (ops.OP_ADD, addr, (-take) & _MASK64),
+                (ops.OP_ADD, addr, take & _MASK64),
+                (ops.OP_ADD, addr,
+                 (((b - n) << E_SHIFT) - (n << R_SHIFT)) & _MASK64),
+            )
+        reserve_op, unreserve_op, load_op, take_op, untake_op, promise_op = cached
         backoff = 32
         while True:
             # Reserve first.  The returned pre-state is the word's exact
@@ -139,12 +162,14 @@ class BulkSemaphore:
             # totally ordered across threads: exactly one batch gets
             # promised per (b - n) units of uncovered demand — the
             # Figure 1(b) admission pattern — with no CAS anywhere.
-            old = yield ops.atomic_add(self.addr, n << R_SHIFT)
-            c, e, r = unpack(old)
+            old = yield reserve_op
+            c = (old >> C_SHIFT) & C_MAX
+            e = (old >> E_SHIFT) & E_MAX
+            r = (old >> R_SHIFT) & R_MAX
             if c >= C_GUARD:
                 # transient borrow in flight; cannot judge — undo, retry
-                yield ops.atomic_sub(self.addr, n << R_SHIFT)
-                yield ops.sleep(ctx.rng.randrange(64))
+                yield unreserve_op
+                yield (ops.OP_SLEEP, randbelow(64))
                 continue
             depth = r - (c + e)  # our position past the covered demand
             if depth > -n:
@@ -163,37 +188,37 @@ class BulkSemaphore:
                 # thread and must promise ourselves (partial supply can
                 # never grow to cover us otherwise).
                 if b == n or depth <= 0 or depth % b < n:
-                    delta = (((b - n) << E_SHIFT) - (n << R_SHIFT)) & _MASK64
-                    yield ops.atomic_add(self.addr, delta)
+                    yield promise_op
                     if tr is not None:
-                        tr.sem_waited(ctx, self.addr, t0, "batch")
+                        tr.sem_waited(ctx, addr, t0, "batch")
                     return -1
-                yield ops.atomic_sub(self.addr, n << R_SHIFT)
-                yield ops.sleep(ctx.rng.randrange(backoff))
-                if backoff < self.max_backoff:
+                yield unreserve_op
+                yield (ops.OP_SLEEP, randbelow(backoff))
+                if backoff < max_backoff:
                     backoff <<= 1
                 continue
             # covered: wait for supply, then claim C and drop the
             # reservation in a single F&A
             while True:
-                word = yield ops.load(self.addr)
-                c, e, r = unpack(word)
+                word = yield load_op
+                c = (word >> C_SHIFT) & C_MAX
+                e = (word >> E_SHIFT) & E_MAX
+                r = (word >> R_SHIFT) & R_MAX
                 if c >= C_GUARD:
-                    yield ops.sleep(ctx.rng.randrange(64))
+                    yield (ops.OP_SLEEP, randbelow(64))
                     continue
                 if c >= n:
-                    take = (n << C_SHIFT) + (n << R_SHIFT)
-                    old = yield ops.atomic_sub(self.addr, take)
+                    old = yield take_op
                     oc = (old >> C_SHIFT) & C_MAX
                     if n <= oc < C_GUARD:
                         if tr is not None:
-                            tr.sem_waited(ctx, self.addr, t0, "acquired")
+                            tr.sem_waited(ctx, addr, t0, "acquired")
                         return 0
-                    yield ops.atomic_add(self.addr, take)
+                    yield untake_op
                 elif r >= c + e:
                     break  # expectation collapsed (renege); re-triage
-                yield ops.sleep(ctx.rng.randrange(backoff))
-                if backoff < self.max_backoff:
+                yield (ops.OP_SLEEP, randbelow(backoff))
+                if backoff < max_backoff:
                     backoff <<= 1
             # un-reserve, then re-triage from the top.  Reset the backoff:
             # it grew while we idled on a promise that no longer exists,
@@ -201,7 +226,7 @@ class BulkSemaphore:
             # likely we are about to become the new designated promiser
             # ourselves, and carrying a maxed-out backoff into that role
             # would stall every waiter behind the collapsed expectation.
-            yield ops.atomic_sub(self.addr, n << R_SHIFT)
+            yield unreserve_op
             backoff = 32
 
     def try_wait(self, ctx: ThreadCtx, n: int = 1):

@@ -21,15 +21,17 @@ refiller — the scalability barrier bulk semaphores remove.
 from __future__ import annotations
 
 from ..sim import ops
-from ..sim.device import ThreadCtx
+from ..sim.device import ThreadCtx, rng_randbelow
 from ..sim.memory import DeviceMemory
 from ..sim.ops import to_signed, to_unsigned
+
+_MASK64 = (1 << 64) - 1
 
 
 class CountingSemaphore:
     """A growable counting semaphore at a device address."""
 
-    __slots__ = ("mem", "addr", "max_backoff")
+    __slots__ = ("mem", "addr", "max_backoff", "_op_cache")
 
     #: value stored while a batch allocation is in flight
     GROWING = -1
@@ -42,6 +44,9 @@ class CountingSemaphore:
         self.addr = mem.host_alloc(8) if addr is None else addr
         mem.store_word(self.addr, to_unsigned(initial))
         self.max_backoff = max_backoff
+        # n -> (load_op, sub_op, add_op): wait()'s invariant op tuples,
+        # cached per requested unit count (usually just n=1)
+        self._op_cache: dict = {}
 
     # -- device side ---------------------------------------------------
     def wait(self, ctx: ThreadCtx, n: int = 1):
@@ -53,40 +58,52 @@ class CountingSemaphore:
         """
         tr = ctx.trace
         t0 = tr.now(ctx) if tr is not None else 0
+        # Hot loop: the load/sub/add op tuples are invariant in
+        # (self.addr, n); build them once per n and cache on the instance.
+        addr = self.addr
+        max_backoff = self.max_backoff
+        randbelow = rng_randbelow(ctx.rng)
+        cached = self._op_cache.get(n)
+        if cached is None:
+            cached = self._op_cache[n] = (
+                (ops.OP_LOAD, addr),
+                (ops.OP_ADD, addr, (-n) & _MASK64),
+                (ops.OP_ADD, addr, n & _MASK64),
+            )
+        load_op, sub_op, add_op = cached
+        growing = to_unsigned(self.GROWING)
         backoff = 32
         cas_backoff = 8
         while True:
-            s = to_signed((yield ops.load(self.addr)))
+            s = to_signed((yield load_op))
             if s < 0:
                 # a batch allocation is in flight; everyone blocks — this
                 # stop-the-world window is the primitive's scalability
                 # barrier (§3.3).
-                yield ops.sleep(ctx.rng.randrange(backoff))
-                if backoff < self.max_backoff:
+                yield (ops.OP_SLEEP, randbelow(backoff))
+                if backoff < max_backoff:
                     backoff <<= 1
                 continue
             if s >= n:
                 # fetch-and-sub fast path (always succeeds; undo on
                 # overdraw) — a pure CAS loop here livelocks under
                 # massive contention, see bulk_semaphore.py.
-                old = to_signed((yield ops.atomic_sub(self.addr, n)))
+                old = to_signed((yield sub_op))
                 if old >= n:
                     if tr is not None:
-                        tr.sem_waited(ctx, self.addr, t0, "acquired")
+                        tr.sem_waited(ctx, addr, t0, "acquired")
                     return n
-                yield ops.atomic_add(self.addr, n)
+                yield add_op
                 continue
             # 0 <= s < n: try to become the batch allocator (rare: only
             # at batch boundaries, so CAS contention stays bounded)
-            old = yield ops.atomic_cas(
-                self.addr, to_unsigned(s), to_unsigned(self.GROWING)
-            )
+            old = yield (ops.OP_CAS, addr, to_unsigned(s), growing)
             if to_signed(old) == s:
                 if tr is not None:
-                    tr.sem_waited(ctx, self.addr, t0, "grower")
+                    tr.sem_waited(ctx, addr, t0, "grower")
                 return s
-            yield ops.sleep(ctx.rng.randrange(cas_backoff))
-            if cas_backoff < self.max_backoff:
+            yield (ops.OP_SLEEP, randbelow(cas_backoff))
+            if cas_backoff < max_backoff:
                 cas_backoff <<= 1
 
     def try_wait(self, ctx: ThreadCtx, n: int = 1):

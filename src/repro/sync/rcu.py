@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Callable, List, Tuple
 
 from ..sim import ops
-from ..sim.device import ThreadCtx
+from ..sim.device import ThreadCtx, rng_randbelow
 from ..sim.memory import DeviceMemory
 from .spinlock import SpinLock
 
@@ -45,7 +45,8 @@ class RCU:
     """
 
     __slots__ = ("mem", "epoch_addr", "cnt_addr", "waiters_addr", "_mutex",
-                 "_callbacks", "callbacks_run", "barriers_full", "barriers_delegated")
+                 "_callbacks", "callbacks_run", "barriers_full", "barriers_delegated",
+                 "_load_epoch_op", "_inc_ops", "_dec_ops")
 
     def __init__(self, mem: DeviceMemory):
         self.mem = mem
@@ -57,6 +58,14 @@ class RCU:
         mem.store_word(self.cnt_addr + 8, 0)
         mem.store_word(self.waiters_addr, 0)
         self._mutex = SpinLock(mem)
+        # read_lock/read_unlock run once per list traversal — the hottest
+        # non-spin path in UAlloc — and their op tuples are invariant per
+        # epoch parity, so build all five once.
+        self._load_epoch_op = ops.load(self.epoch_addr)
+        self._inc_ops = (ops.atomic_add(self.cnt_addr, 1),
+                         ops.atomic_add(self.cnt_addr + 8, 1))
+        self._dec_ops = (ops.atomic_sub(self.cnt_addr, 1),
+                         ops.atomic_sub(self.cnt_addr + 8, 1))
         self._callbacks: List[Tuple[Callable, tuple]] = []
         # host-visible statistics
         self.callbacks_run = 0
@@ -67,14 +76,14 @@ class RCU:
     def read_lock(self, ctx: ThreadCtx):
         """Enter a read-side critical section; returns an epoch token that
         must be passed to :meth:`read_unlock`."""
-        e = yield ops.load(self.epoch_addr)
+        e = yield self._load_epoch_op
         idx = e & 1
-        yield ops.atomic_add(self.cnt_addr + 8 * idx, 1)
+        yield self._inc_ops[idx]
         return idx
 
     def read_unlock(self, ctx: ThreadCtx, idx: int):
         """Leave the read-side critical section entered with token ``idx``."""
-        yield ops.atomic_sub(self.cnt_addr + 8 * idx, 1)
+        yield self._dec_ops[idx]
 
     # -- write side ------------------------------------------------------
     def call(self, ctx: ThreadCtx, callback: Callable, *args):
@@ -125,11 +134,13 @@ class RCU:
             yield ops.fault_point("rcu.grace", e & 1)
         old_idx = e & 1
         backoff = 32
+        randbelow = rng_randbelow(ctx.rng)
+        load_cnt_op = ops.load(self.cnt_addr + 8 * old_idx)
         while True:
-            readers = yield ops.load(self.cnt_addr + 8 * old_idx)
+            readers = yield load_cnt_op
             if readers == 0:
                 break
-            yield ops.sleep(ctx.rng.randrange(backoff))
+            yield (ops.OP_SLEEP, randbelow(backoff))
             if backoff < 2048:
                 backoff <<= 1
         if tr is not None:

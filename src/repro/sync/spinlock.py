@@ -12,7 +12,7 @@ so a contended SpinLock serializes at the word's atomic service rate.
 from __future__ import annotations
 
 from ..sim import ops
-from ..sim.device import ThreadCtx
+from ..sim.device import ThreadCtx, rng_randbelow
 from ..sim.memory import DeviceMemory
 
 _FREE = 0
@@ -29,20 +29,24 @@ class SpinLock:
         yield from lock.unlock(ctx)
     """
 
-    __slots__ = ("mem", "addr", "max_backoff")
+    __slots__ = ("mem", "addr", "max_backoff", "_load_op", "_cas_op")
 
     def __init__(self, mem: DeviceMemory, addr: int | None = None, max_backoff: int = 65536):
         self.mem = mem
         self.addr = mem.host_alloc(8) if addr is None else addr
         mem.store_word(self.addr, _FREE)
         self.max_backoff = max_backoff
+        # lock()/try_lock() run once per critical section on the hottest
+        # paths; their op tuples are invariant, so build them once.
+        self._load_op = ops.load(self.addr)
+        self._cas_op = ops.atomic_cas(self.addr, _FREE, _HELD)
 
     # -- device side ---------------------------------------------------
     def try_lock(self, ctx: ThreadCtx):
         """Single attempt; returns True if the lock was taken."""
         tr = ctx.trace
         t0 = tr.now(ctx) if tr is not None else 0
-        old = yield ops.atomic_cas(self.addr, _FREE, _HELD)
+        old = yield self._cas_op
         if old == _FREE:
             if tr is not None:
                 tr.lock_acquired(ctx, self.addr, t0)
@@ -56,22 +60,29 @@ class SpinLock:
         """Acquire, spinning with randomized exponential backoff."""
         tr = ctx.trace
         t0 = tr.now(ctx) if tr is not None else 0
+        # Hot loop: the op tuples are prebuilt on the instance, so only
+        # the RNG draw needs binding out of the loop.
+        addr = self.addr
+        max_backoff = self.max_backoff
+        load_op = self._load_op
+        cas_op = self._cas_op
+        randbelow = rng_randbelow(ctx.rng)
         backoff = 32
         while True:
             # test-and-test-and-set: read before attempting the CAS so a
             # held lock costs loads, not atomic slots.
-            val = yield ops.load(self.addr)
+            val = yield load_op
             if val == _FREE:
-                old = yield ops.atomic_cas(self.addr, _FREE, _HELD)
+                old = yield cas_op
                 if old == _FREE:
                     if tr is not None:
-                        tr.lock_acquired(ctx, self.addr, t0)
+                        tr.lock_acquired(ctx, addr, t0)
                     if ctx.fault is not None:
                         # stall site: hold the lock for extra cycles
-                        yield ops.fault_point("spinlock.hold", self.addr)
+                        yield ops.fault_point("spinlock.hold", addr)
                     return
-            yield ops.sleep(ctx.rng.randrange(backoff))
-            if backoff < self.max_backoff:
+            yield (ops.OP_SLEEP, randbelow(backoff))
+            if backoff < max_backoff:
                 backoff <<= 1
 
     def unlock(self, ctx: ThreadCtx):

@@ -6,6 +6,7 @@ Usage::
     python -m repro verify --smoke            # reduced CI sweep
     python -m repro verify --seeds 8          # more seeds
     python -m repro verify --scenario churn   # restrict scenarios
+    python -m repro verify --workers 4        # shard the grid (see par)
     python -m repro verify --replay 'storm:3:atomic_latency=4,jitter=512'
     python -m repro verify --replay ... --shrink
 
@@ -81,6 +82,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fail-fast", action="store_true",
         help="stop the sweep at the first failing case",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the sweep grid across N worker processes "
+             "(0 = one per CPU; default 1 = serial); results are merged "
+             "in canonical grid order and identical to a serial sweep",
+    )
     args = parser.parse_args(argv)
 
     t0 = time.time()
@@ -111,7 +118,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"verify: sweeping {len(seeds)} seed(s) x {len(deck)} "
           f"perturbation(s) x {len(names)} scenario(s) = {n_cases} cases")
     results = sweep(seeds, deck=deck, scenarios=names,
-                    fail_fast=args.fail_fast, log=print)
+                    fail_fast=args.fail_fast, log=print,
+                    workers=args.workers)
     failures = [r for r in results if not r.ok]
     elapsed = time.time() - t0
     if not failures:

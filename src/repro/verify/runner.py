@@ -262,17 +262,42 @@ def run_case(spec: CaseSpec, check_races: bool = True,
 def sweep(seeds: Sequence[int], deck: Sequence[Perturbation] = DEFAULT_DECK,
           scenarios: Optional[Sequence[str]] = None,
           fail_fast: bool = False,
-          log: Optional[Callable[[str], None]] = None) -> List[CaseResult]:
-    """Run the full seeds x deck x scenarios grid; returns all results."""
+          log: Optional[Callable[[str], None]] = None,
+          workers: int = 1) -> List[CaseResult]:
+    """Run the full seeds x deck x scenarios grid; returns all results.
+
+    The seeds -> deck -> scenarios nesting order is the grid's
+    *canonical* order: replay listings, failure reports and sharded
+    merges all follow it.  ``workers > 1`` fans the grid out across
+    processes (each case builds its own seeded simulator, so results
+    are identical to the serial sweep's and are merged back in
+    canonical order).  A sharded ``fail_fast`` sweep still runs every
+    case — shards cannot see each other's failures — but the returned
+    list is truncated at the first failure so callers observe the
+    serial contract.
+    """
     names = list(scenarios) if scenarios else list(SCENARIOS)
+    grid = [CaseSpec(name, seed, pert)
+            for seed in seeds for pert in deck for name in names]
+    if workers > 1 and len(grid) > 1:
+        from ..par.pool import map_sharded
+
+        results = map_sharded(run_case, grid, workers=workers,
+                              log=log, label=lambda s: s.replay)
+        if log is not None:
+            for res in results:
+                log(res.describe())
+        if fail_fast:
+            for i, res in enumerate(results):
+                if not res.ok:
+                    return results[:i + 1]
+        return results
     results: List[CaseResult] = []
-    for seed in seeds:
-        for pert in deck:
-            for name in names:
-                res = run_case(CaseSpec(name, seed, pert))
-                results.append(res)
-                if log is not None:
-                    log(res.describe())
-                if fail_fast and not res.ok:
-                    return results
+    for spec in grid:
+        res = run_case(spec)
+        results.append(res)
+        if log is not None:
+            log(res.describe())
+        if fail_fast and not res.ok:
+            return results
     return results

@@ -1,0 +1,74 @@
+"""The sharding engine: order preservation, fallbacks, failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.par.pool import map_sharded, preferred_start_method, resolve_workers
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _explode_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("shard went bad")
+    return x
+
+
+class TestResolveWorkers:
+    def test_auto_is_at_least_one(self):
+        assert resolve_workers(0) >= 1
+
+    def test_auto_is_capped(self):
+        assert resolve_workers(0) <= 8
+
+    def test_explicit_is_literal(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(5) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestMapSharded:
+    def test_inline_matches_comprehension(self):
+        items = list(range(7))
+        assert map_sharded(_square, items, workers=1) == [x * x for x in items]
+
+    def test_sharded_matches_inline(self):
+        items = list(range(11))
+        serial = map_sharded(_square, items, workers=1)
+        sharded = map_sharded(_square, items, workers=3)
+        assert sharded == serial
+
+    def test_order_is_submission_order(self):
+        # Regardless of which worker finishes first, index i holds f(items[i]).
+        items = [9, 2, 5, 0, 7]
+        assert map_sharded(_square, items, workers=2) == [81, 4, 25, 0, 49]
+
+    def test_empty_items(self):
+        assert map_sharded(_square, [], workers=4) == []
+
+    def test_single_item_runs_inline(self):
+        assert map_sharded(_square, [6], workers=4) == [36]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="shard went bad"):
+            map_sharded(_explode_on_three, [1, 2, 3, 4], workers=2)
+
+    def test_inline_exception_propagates(self):
+        with pytest.raises(ValueError, match="shard went bad"):
+            map_sharded(_explode_on_three, [3], workers=1)
+
+    def test_log_sees_every_item(self):
+        lines: list = []
+        map_sharded(_square, [1, 2, 3], workers=2, log=lines.append)
+        assert len(lines) == 3
+        # progress lines carry completion counters over the full deck size
+        assert all("/3]" in line for line in lines)
+
+    def test_preferred_start_method_is_known(self):
+        assert preferred_start_method() in ("fork", "spawn")

@@ -121,3 +121,88 @@ class TestStructure:
         doc = _doc({"virtual:a": 3.5, "wall:seconds": 0.2})
         deltas = compare.compare_docs(doc, doc)
         assert all(d.status == "ok" and d.worsening == 0.0 for d in deltas)
+
+
+def _multi_doc(case_metrics, tier="quick"):
+    return {
+        "schema": SCHEMA,
+        "label": "T",
+        "tier": tier,
+        "cost_model": {},
+        "cases": {case: {"seed": 1, "repeats": 1, "metrics": dict(m)}
+                  for case, m in case_metrics.items()},
+    }
+
+
+class TestWallFloor:
+    """A ~0 wall baseline must never explode the gate (inf / div-zero)."""
+
+    def test_zero_wall_baseline_stays_finite(self):
+        base = _doc({"wall:seconds": 0.0})
+        cur = _doc({"wall:seconds": 0.004})
+        d = _one(compare.compare_docs(cur, base), "wall:seconds")
+        assert math.isfinite(d.worsening)
+        assert d.worsening == pytest.approx(
+            0.004 / compare.WALL_FLOOR_SECONDS)
+
+    def test_subresolution_wall_baseline_uses_floor(self):
+        base = _doc({"wall:seconds": 1e-9})
+        cur = _doc({"wall:seconds": 2e-9})
+        d = _one(compare.compare_docs(cur, base), "wall:seconds")
+        # raw ratio would be +100%; the floored denominator reads the
+        # nanosecond jitter as the noise it is
+        assert d.worsening == pytest.approx(1e-9 / compare.WALL_FLOOR_SECONDS)
+        assert d.status == "ok"
+
+    def test_virtual_zero_baseline_still_infinite(self):
+        # the floor is a wall-class concession; virtual metrics are
+        # deterministic, so appearing-from-zero stays an inf-class event
+        base = _doc({"virtual:failure_rate_mean": 0.0})
+        cur = _doc({"virtual:failure_rate_mean": 0.1})
+        d = _one(compare.compare_docs(cur, base), "virtual:failure_rate_mean")
+        assert d.worsening == math.inf
+
+    def test_zero_to_zero_wall_is_flat(self):
+        base = _doc({"wall:seconds": 0.0})
+        d = _one(compare.compare_docs(base, base), "wall:seconds")
+        assert d.worsening == 0.0 and d.status == "ok"
+
+
+class TestDeckRow:
+    """The synthetic (deck) row: summed wall across a multi-case deck."""
+
+    def test_deck_row_sums_walls(self):
+        base = _multi_doc({"a": {"wall:seconds": 1.0},
+                           "b": {"wall:seconds": 3.0}})
+        cur = _multi_doc({"a": {"wall:seconds": 0.4},
+                          "b": {"wall:seconds": 1.2}})
+        (deck,) = [d for d in compare.compare_docs(cur, base)
+                   if d.case == compare.DECK_CASE]
+        assert deck.baseline == pytest.approx(4.0)
+        assert deck.current == pytest.approx(1.6)
+        assert deck.worsening == pytest.approx(-0.6)
+        assert deck.status == "improved"
+        assert not deck.gated
+
+    def test_deck_row_never_gates(self):
+        base = _multi_doc({"a": {"wall:seconds": 1.0},
+                           "b": {"wall:seconds": 1.0}})
+        cur = _multi_doc({"a": {"wall:seconds": 1.2},
+                          "b": {"wall:seconds": 1.2}})
+        deltas = compare.compare_docs(cur, base)
+        (deck,) = [d for d in deltas if d.case == compare.DECK_CASE]
+        assert deck.status == "ok"
+        assert not compare.has_regressions(deltas)
+
+    def test_no_deck_row_for_single_case(self):
+        doc = _doc({"wall:seconds": 1.0})
+        assert not [d for d in compare.compare_docs(doc, doc)
+                    if d.case == compare.DECK_CASE]
+
+    def test_no_deck_row_for_mismatched_case_sets(self):
+        base = _multi_doc({"a": {"wall:seconds": 1.0},
+                           "b": {"wall:seconds": 1.0}})
+        cur = _multi_doc({"a": {"wall:seconds": 1.0},
+                          "c": {"wall:seconds": 1.0}})
+        assert not [d for d in compare.compare_docs(cur, base)
+                    if d.case == compare.DECK_CASE]
