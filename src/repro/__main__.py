@@ -30,6 +30,11 @@ Usage::
     python -m repro par perf      # any deck runner sharded across worker
         # processes with a deterministic merge; also available as
         # --workers N on perf run / verify / resil run (see `par --help`).
+
+    python -m repro backends list     # registered allocator backends
+    python -m repro backends conform  # conformance deck over backends
+        # (the shared contract every backend must satisfy; see
+        # DESIGN.md §11 and `backends --help`).
 """
 
 from __future__ import annotations
@@ -74,6 +79,10 @@ def main(argv=None) -> int:
         from .par.cli import main as par_main
 
         return par_main(list(argv[1:]))
+    if argv and argv[0] == "backends":
+        from .backends.cli import main as backends_main
+
+        return backends_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PPoPP'19 allocator paper's evaluation "

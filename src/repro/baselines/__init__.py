@@ -11,7 +11,7 @@
   [Huang et al. 2010].
 """
 
-from .bump import BumpAllocator
+from .bump import BumpAllocator, BumpFreeError
 from .cuda_malloc import BaselineHeapError, CudaLikeAllocator
 from .lock_buddy import LockBuddy, LockBuddyError
 from .scatteralloc import ScatterAlloc, ScatterAllocError
@@ -21,6 +21,7 @@ __all__ = [
     "CudaLikeAllocator",
     "BaselineHeapError",
     "BumpAllocator",
+    "BumpFreeError",
     "LockBuddy",
     "LockBuddyError",
     "ScatterAlloc",

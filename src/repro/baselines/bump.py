@@ -11,9 +11,14 @@ from __future__ import annotations
 
 from ..sim import ops
 from ..sim.device import ThreadCtx
+from ..sim.errors import SimError
 from ..sim.memory import DeviceMemory
 
 _NULL = DeviceMemory.NULL
+
+
+class BumpFreeError(SimError):
+    """Free of an address the bump pool never contained."""
 
 
 class BumpAllocator:
@@ -28,6 +33,9 @@ class BumpAllocator:
         self.align = align
         self.off_addr = mem.host_alloc(8)
         mem.store_word(self.off_addr, 0)
+        #: in-pool frees absorbed as no-ops (host-side counter) — the
+        #: backend contract's "documented no-op with a counter"
+        self.n_noop_frees = 0
 
     def malloc(self, ctx: ThreadCtx, nbytes: int):
         """One atomic add; returns NULL once the pool is spent."""
@@ -42,7 +50,21 @@ class BumpAllocator:
         return self.base + old
 
     def free(self, ctx: ThreadCtx, addr: int):
-        """Individual frees are no-ops."""
+        """In-pool frees are counted no-ops; out-of-pool frees raise.
+
+        The design recovers nothing per-block (only :meth:`reset`
+        reclaims), but a free of an address this pool never handed out
+        is still a caller bug — silently ignoring it used to mask
+        cross-allocator pointer mixups in comparison benches.
+        ``free(NULL)`` is the universal no-op and is not counted.
+        """
+        if addr != _NULL:
+            if not (self.base <= addr < self.base + self.size):
+                raise BumpFreeError(
+                    f"free({addr:#x}): address outside the bump pool "
+                    f"[{self.base:#x}, {self.base + self.size:#x})"
+                )
+            self.n_noop_frees += 1
         if False:  # pragma: no cover - keeps this a generator
             yield
 

@@ -110,10 +110,22 @@ class CudaLikeAllocator:
         yield ops.store(block + size - FTR, size)
 
     def free(self, ctx: ThreadCtx, addr: int):
-        """Release a payload pointer; coalesces with both neighbours."""
+        """Release a payload pointer; coalesces with both neighbours.
+
+        Raises :class:`BaselineHeapError` for addresses outside the
+        heap *before* touching any word: the header load below would
+        otherwise read unrelated memory and — whenever the garbage word
+        happened to have the USED bit set — rewrite it as a block
+        header, silently corrupting whatever lived there.
+        """
         if addr == _NULL:
             return
         block = addr - HDR
+        if not (self.base <= block < self.base + self.size):
+            raise BaselineHeapError(
+                f"free({addr:#x}): address outside the heap "
+                f"[{self.base + HDR:#x}, {self.base + self.size:#x})"
+            )
         yield from self.lock.lock(ctx)
         hdr = yield ops.load(block)
         if not hdr & USED:
@@ -147,6 +159,23 @@ class CudaLikeAllocator:
     def host_free_bytes(self) -> int:
         """Sum of free-block sizes (quiescent only)."""
         return sum(self.mem.load_word(b) for b in self.freelist.host_items())
+
+    def host_used_bytes(self) -> int:
+        """Bytes in used blocks, headers included (quiescent only)."""
+        return sum(size for _, size, used in self.host_walk() if used)
+
+    def host_check(self) -> None:
+        """Validate the boundary-tag layout and the free/used split:
+        every heap byte is in exactly one block, footers match headers
+        (:meth:`host_walk` raises otherwise), and the free list accounts
+        for exactly the non-USED bytes."""
+        walk_free = sum(size for _, size, used in self.host_walk() if not used)
+        list_free = self.host_free_bytes()
+        if walk_free != list_free:
+            raise BaselineHeapError(
+                f"free list holds {list_free} bytes but the heap walk "
+                f"finds {walk_free} free bytes"
+            )
 
     def host_walk(self) -> list[tuple[int, int, bool]]:
         """(addr, size, used) for every block, validating the layout."""

@@ -108,9 +108,18 @@ class LockBuddy:
         return addr
 
     def free(self, ctx: ThreadCtx, addr: int):
-        """Release a block; coalesces greedily with free buddies."""
-        yield from self.lock.lock(ctx)
+        """Release a block; coalesces greedily with free buddies.
+
+        ``free(NULL)`` is a no-op; a non-page or out-of-pool address
+        raises :class:`LockBuddyError`.  Both are validated *before*
+        taking the global lock — ``_page`` used to run inside the
+        critical section, so one bad free poisoned the lock and
+        deadlocked every other thread in the launch.
+        """
+        if addr == _NULL:
+            return
         page = self._page(addr)
+        yield from self.lock.lock(ctx)
         used = yield ops.load(self._used(page))
         if not used:
             yield from self.lock.unlock(ctx)
@@ -140,3 +149,23 @@ class LockBuddy:
         for o, lst in enumerate(self.freelists):
             total += len(lst.host_items()) * (self.page_size << o)
         return total
+
+    def host_used_bytes(self) -> int:
+        """Total bytes in live blocks, from the used table (quiescent
+        only)."""
+        total = 0
+        for page in range(self.n_pages):
+            used = self.mem.load_word(self._used(page))
+            if used:
+                total += self.page_size << (used - 1)
+        return total
+
+    def host_check(self) -> None:
+        """Used and free blocks must tile the pool exactly."""
+        used = self.host_used_bytes()
+        free = self.host_free_bytes()
+        if used + free != self.pool_size:
+            raise LockBuddyError(
+                f"accounting leak: {used} used + {free} free "
+                f"!= {self.pool_size} pool bytes"
+            )

@@ -112,7 +112,14 @@ class ScatterAlloc:
         return _NULL
 
     def free(self, ctx: ThreadCtx, addr: int):
-        """Clear the block's bit; unbind the page when it empties."""
+        """Clear the block's bit; raises for any invalid address.
+
+        ``free(NULL)`` is a no-op (the shared backend contract) — it
+        used to fall through the range check and raise, which made
+        NULL-tolerant workloads backend-dependent.
+        """
+        if addr == _NULL:
+            return
         off = addr - self.base
         if not (0 <= off < self.size):
             raise ScatterAllocError(f"free of {addr:#x} outside the pool")
@@ -140,6 +147,18 @@ class ScatterAlloc:
         used = 0
         for p in range(self.n_pages):
             used += self.mem.load_word(self._meta_addr(p) + META_BITMAP_OFF).bit_count()
+        return used
+
+    def host_used_bytes(self) -> int:
+        """Bytes currently allocated: per-page bitmap population times
+        the page's bound block size (quiescent only)."""
+        used = 0
+        for p in range(self.n_pages):
+            maddr = self._meta_addr(p)
+            size = self.mem.load_word(maddr + META_SIZE_OFF)
+            if size:
+                bits = self.mem.load_word(maddr + META_BITMAP_OFF)
+                used += bits.bit_count() * size
         return used
 
     def host_bound_pages(self) -> int:

@@ -188,6 +188,54 @@ class XMalloc:
         yield from self._push(ctx, self.heads[size], block)
 
     # ------------------------------------------------------------------
+    def host_carved(self) -> Dict[int, int]:
+        """Blocks carved from the region per size class (quiescent only).
+
+        Walks the bump region by size headers — every block keeps its
+        header for life, so the carved layout is fully recoverable.
+        """
+        carved = {s: 0 for s in self.classes}
+        end = min(self.mem.load_word(self.bump_addr), self.size)
+        off = 0
+        while off < end:
+            size = self.mem.load_word(self.base + off)
+            if size == 0:
+                # burned tail: a failed refill bumps the offset without
+                # carving headers, so the region ends here
+                break
+            if size not in carved:
+                raise XMallocError(
+                    f"corrupt size header {size} at offset {off}"
+                )
+            carved[size] += 1
+            off += HDR + size
+        if off > end:
+            raise XMallocError(
+                f"region walk overran the bump offset ({off} > {end})"
+            )
+        return carved
+
+    def host_used_bytes(self) -> int:
+        """Bytes in live blocks: carved minus stacked, per class
+        (quiescent only).  Headers are not counted — this is payload
+        capacity handed to callers, matching what ``malloc`` returned."""
+        carved = self.host_carved()
+        return sum(
+            (carved[s] - self.host_stack_depth(s)) * s for s in self.classes
+        )
+
+    def host_check(self) -> None:
+        """Every stacked block must lie in the carved region and no
+        class stack may hold more blocks than were ever carved."""
+        carved = self.host_carved()
+        for s in self.classes:
+            depth = self.host_stack_depth(s)
+            if depth > carved[s]:
+                raise XMallocError(
+                    f"class {s}: stack holds {depth} blocks but only "
+                    f"{carved[s]} were carved"
+                )
+
     def host_stack_depth(self, size: int) -> int:
         """Free blocks on one class stack (quiescent only)."""
         depth = 0

@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..baselines import CudaLikeAllocator
-from ..core import AllocatorConfig, ThroughputAllocator
+from ..backends import get as get_backend
+from ..core import AllocatorConfig
 from ..sim import GPUDevice, DeviceMemory, Scheduler
 from ..sim.trace import Tracer
 from .reporting import Series, format_table, geometric_mean, si, size_label
@@ -121,31 +121,24 @@ def run_size(
 ) -> Fig7Point:
     """Exhaust a fresh pool with single-malloc threads at one size."""
     device = device or GPUDevice(num_sms=2, max_resident_blocks=4)
+    backend = get_backend(allocator)
     cfg = AllocatorConfig()  # paper layout: 4 KB bins, 64-bin chunks
-    if allocator == "ours":
+    if backend.name in ("ours", "ours-coalesced"):
         pool = pool_bytes_for(size, cfg.chunk_size, device.num_sms, max_pool)
         nthreads = max(1, min(pool // size, max_threads))
-    elif allocator == "cuda":
-        # The baseline is fully serialized by its global lock, so its
-        # throughput is concurrency-independent; measuring it at a
+    else:
+        # Lock/stack baselines are dominated by their serialization, so
+        # their throughput is concurrency-independent; measuring at a
         # proportionally smaller scale keeps simulation time sane
         # without changing the figure's shape (DESIGN.md substitutions).
         nthreads = max(1, min(4096, (max_pool // size), max_threads))
         pool = max(4096, (size + 48) * nthreads)
         pool = (pool + 15) & ~15
-    else:
-        raise ValueError(f"unknown allocator {allocator!r}")
     grid = -(-nthreads // block)
     blk = min(block, nthreads)
     mem = DeviceMemory(pool * 2 + (4 << 20))
-    if allocator == "ours":
-        pool_order = (pool // cfg.page_size - 1).bit_length()
-        cfg = AllocatorConfig(pool_order=pool_order)
-        alloc = ThroughputAllocator(mem, device, cfg, checked=False)
-    else:
-        base = mem.host_alloc(pool, align=16)
-        alloc = CudaLikeAllocator(mem, base, pool)
-    kernel, out = malloc_storm(alloc, size)
+    handle = backend.build(mem, device, pool, checked=False)
+    kernel, out = malloc_storm(handle, size)
     if tracer is not None:
         tracer.begin_run(
             f"fig7:{allocator} size={size_label(size)} n={grid * blk}"

@@ -19,8 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..baselines import BumpAllocator
-from ..core import AllocatorConfig, ThroughputAllocator
+from ..backends import get as get_backend
 from ..sim import GPUDevice, DeviceMemory, Scheduler, ops
 from .reporting import format_table
 
@@ -88,36 +87,36 @@ def run(
     device = device or GPUDevice(num_sms=2)
     res = FragResult()
 
+    pool = 4096 << pool_order
+
     # --- ours -----------------------------------------------------------
-    mem = DeviceMemory((4096 << pool_order) * 2 + (16 << 20))
-    alloc = ThroughputAllocator(mem, device,
-                                AllocatorConfig(pool_order=pool_order),
-                                checked=False)
+    mem = DeviceMemory(pool * 2 + (16 << 20))
+    handle = get_backend("ours").build(mem, device, pool, checked=False)
+    alloc = handle.allocator
     kept: List[tuple] = []
     for r in range(rounds):
         sched = Scheduler(mem, device, seed=seed + r)
-        sched.launch(_round_kernel(alloc, sizes, keep_mod, kept, r),
+        sched.launch(_round_kernel(handle, sizes, keep_mod, kept, r),
                      -(-nthreads // 256), min(256, nthreads))
         sched.run()
         alloc.ualloc.host_gc()
-        live = alloc.host_used_bytes()
+        live = handle.used_bytes()
         reserved = alloc.cfg.pool_size - alloc.tbuddy.host_free_bytes()
         res.ours.append(FragPoint(r, live, reserved))
 
     # --- bump -----------------------------------------------------------
-    mem2 = DeviceMemory((4096 << pool_order) * 2 + (16 << 20))
-    base = mem2.host_alloc(4096 << pool_order, align=16)
-    bump = BumpAllocator(mem2, base, 4096 << pool_order)
+    mem2 = DeviceMemory(pool * 2 + (16 << 20))
+    bhandle = get_backend("bump").build(mem2, device, pool, checked=False)
     kept2: List[tuple] = []
     live2 = 0
     for r in range(rounds):
         sched = Scheduler(mem2, device, seed=seed + r)
         before = len(kept2)
-        sched.launch(_round_kernel(bump, sizes, keep_mod, kept2, r),
+        sched.launch(_round_kernel(bhandle, sizes, keep_mod, kept2, r),
                      -(-nthreads // 256), min(256, nthreads))
         sched.run()
         live2 += sum(s for _, s in kept2[before:])
-        res.bump.append(FragPoint(r, live2, bump.used_bytes))
+        res.bump.append(FragPoint(r, live2, bhandle.used_bytes()))
 
     return res
 

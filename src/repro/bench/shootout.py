@@ -2,30 +2,35 @@
 every §2.2 related-work design we implement).
 
 One workload — a malloc/hold/free churn at a fixed small size — run
-against: this paper's allocator (scalar and warp-coalesced), the
-CUDA-like lock allocator, XMalloc-style bin stacks, ScatterAlloc-style
-hashed pages, and the bump pointer.  Reports virtual throughput and the
-failure count; the bump pointer additionally demonstrates its
-fragmentation pathology (it fails once the pool's been written through,
-regardless of frees).
+against any set of registered backends (:mod:`repro.backends`); the
+default roster is the paper's comparison set: this paper's allocator
+(scalar and warp-coalesced), the CUDA-like lock allocator,
+XMalloc-style bin stacks, ScatterAlloc-style hashed pages, and the bump
+pointer.  Reports virtual throughput and the failure count; the bump
+pointer additionally demonstrates its fragmentation pathology (it fails
+once the pool's been written through, regardless of frees).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional, Sequence
 
-from ..baselines import (
-    BumpAllocator,
-    CudaLikeAllocator,
-    ScatterAlloc,
-    XMalloc,
-)
-from ..core import AllocatorConfig, ThroughputAllocator
+from ..backends import get as get_backend
 from ..sim import GPUDevice, DeviceMemory, Scheduler, ops
 from .reporting import format_table, si
 
 _NULL = DeviceMemory.NULL
+
+#: the original comparison roster (registry names, in table order)
+DEFAULT_BACKENDS = (
+    "ours",
+    "ours-coalesced",
+    "cuda",
+    "xmalloc",
+    "scatteralloc",
+    "bump",
+)
 
 
 @dataclass
@@ -47,8 +52,11 @@ class ShootoutResult:
         base = {p.name: p for p in self.points}.get("ours (scalar)")
         rows = []
         for p in sorted(self.points, key=lambda p: -p.throughput):
-            rel = (p.throughput / base.throughput) if base else 0.0
-            rows.append([p.name, si(p.throughput), p.failures, f"{rel:.2f}x"])
+            if base is not None and base.throughput > 0:
+                rel = f"{p.throughput / base.throughput:.2f}x"
+            else:
+                rel = "-"
+            rows.append([p.name, si(p.throughput), p.failures, rel])
         return format_table(
             ["allocator", "pairs/s", "failures", "vs ours"], rows
         )
@@ -77,65 +85,35 @@ def run(
     device: Optional[GPUDevice] = None,
     seed: int = 9,
     pool: int = 1 << 20,
-    which: Optional[List[str]] = None,
+    which: Optional[Sequence[str]] = None,
 ) -> ShootoutResult:
-    """Run the churn shootout; returns per-allocator results."""
+    """Run the churn shootout; returns per-backend results.
+
+    ``which`` names backends by registry name, display label, or alias
+    (historic callers pass display labels like ``"ours (scalar)"``);
+    ``None`` runs :data:`DEFAULT_BACKENDS`.
+    """
     device = device or GPUDevice(num_sms=2)
+    roster = [get_backend(n) for n in (which if which is not None
+                                       else DEFAULT_BACKENDS)]
     points = []
-
-    def build_ours(mem):
-        cfg = AllocatorConfig(pool_order=(pool // 4096 - 1).bit_length())
-        a = ThroughputAllocator(mem, device, cfg, checked=False)
-        return a.malloc, a.free
-
-    def build_ours_coalesced(mem):
-        cfg = AllocatorConfig(pool_order=(pool // 4096 - 1).bit_length())
-        a = ThroughputAllocator(mem, device, cfg, checked=False)
-        return a.malloc_coalesced, a.free
-
-    def build_cuda(mem):
-        base = mem.host_alloc(pool, align=16)
-        a = CudaLikeAllocator(mem, base, pool)
-        return a.malloc, a.free
-
-    def build_xmalloc(mem):
-        base = mem.host_alloc(pool, align=4096)
-        a = XMalloc(mem, base, pool)
-        return a.malloc, a.free
-
-    def build_scatter(mem):
-        base = mem.host_alloc(pool, align=4096)
-        a = ScatterAlloc(mem, base, pool)
-        return a.malloc, a.free
-
-    def build_bump(mem):
-        base = mem.host_alloc(pool, align=16)
-        a = BumpAllocator(mem, base, pool)
-        return a.malloc, a.free
-
-    builders: Dict[str, Callable] = {
-        "ours (scalar)": build_ours,
-        "ours (coalesced)": build_ours_coalesced,
-        "CUDA-like": build_cuda,
-        "XMalloc-like": build_xmalloc,
-        "ScatterAlloc-like": build_scatter,
-        "bump pointer": build_bump,
-    }
-    for name, build in builders.items():
-        if which is not None and name not in which:
-            continue
+    for backend in roster:
         mem = DeviceMemory(pool * 4 + (8 << 20))
-        malloc_fn, free_fn = build(mem)
+        handle = backend.build(mem, device, pool, checked=False)
         failures: List[int] = []
-        kernel = _churn_kernel(malloc_fn, free_fn, size, iters, failures)
+        kernel = _churn_kernel(handle.malloc, handle.free, size, iters,
+                               failures)
         sched = Scheduler(mem, device, seed=seed)
         sched.launch(kernel, -(-nthreads // 256), min(256, nthreads))
         report = sched.run()
         n_fail = sum(failures)
         ok_pairs = nthreads * iters - n_fail
+        # A total wipeout used to report throughput(1) — one phantom
+        # pair per run — which ranked a 100%-failure allocator above a
+        # slow-but-correct one.  Zero completed pairs is zero throughput.
         points.append(ShootoutPoint(
-            name=name,
-            throughput=report.throughput(max(ok_pairs, 1)),
+            name=backend.display,
+            throughput=report.throughput(ok_pairs) if ok_pairs > 0 else 0.0,
             failures=n_fail,
             cycles=report.cycles,
         ))

@@ -142,5 +142,33 @@ class AllocatorConfig:
         """TBuddy order for a (power-of-two) coarse ``size``."""
         return (size // self.page_size - 1).bit_length()
 
+    @staticmethod
+    def order_for_pool(pool_bytes: int, page_size: int = 4096) -> int:
+        """The ``pool_order`` whose pool *covers* ``pool_bytes``.
+
+        ``ceil(log2(ceil(pool_bytes / page_size)))`` — exact for pools
+        that are a power-of-two number of pages, rounded **up**
+        otherwise, so ``page_size << order >= pool_bytes`` always holds.
+        Every bench used to hand-roll this as
+        ``(pool // 4096 - 1).bit_length()``, which silently
+        *under*-covers non-page-multiple pools (e.g. 4097 B mapped to a
+        one-page pool); use this helper instead.
+        """
+        if pool_bytes <= 0:
+            raise ValueError(f"pool_bytes must be positive (got {pool_bytes})")
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        pages = -(-pool_bytes // page_size)
+        return (pages - 1).bit_length()
+
+    @classmethod
+    def for_pool(cls, pool_bytes: int, **overrides) -> "AllocatorConfig":
+        """A config sized so the TBuddy pool covers ``pool_bytes``."""
+        if "pool_order" in overrides:
+            raise ValueError("pool_order is derived from pool_bytes here")
+        page_size = overrides.get("page_size", cls.page_size)
+        return cls(pool_order=cls.order_for_pool(pool_bytes, page_size),
+                   **overrides)
+
 
 DEFAULT_CONFIG = AllocatorConfig()

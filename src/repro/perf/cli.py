@@ -35,7 +35,16 @@ def _cmd_run(args) -> int:
     tier = "full" if args.full else "quick"
     label = args.label or artifact.next_label(root)
     out = Path(args.out) if args.out else root / f"BENCH_{label}.json"
-    suite = run_suite(tier, names=args.case or None, repeats=args.repeats,
+    names = list(args.case) if args.case else None
+    if args.backends:
+        # One extra dynamic case per --backends flag: the shootout
+        # parameterized over that roster (resolved by name everywhere,
+        # so it shards and records like any registered case).
+        names = names or list(CASES)
+        names += ["shootout@" + "+".join(
+            b.strip() for b in spec.split(",") if b.strip()
+        ) for spec in args.backends]
+    suite = run_suite(tier, names=names, repeats=args.repeats,
                       progress=print, workers=args.workers)
     doc = artifact.suite_to_doc(suite, label)
     artifact.write_artifact(out, doc)
@@ -142,7 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="full tier: the paper-scale sweeps")
     p_run.add_argument("--case", action="append", metavar="NAME",
                        help=f"run only this case (repeatable); "
-                            f"registered: {', '.join(sorted(CASES))}")
+                            f"registered: {', '.join(sorted(CASES))}, "
+                            "plus 'shootout@b1+b2' parameterized by "
+                            "backend roster")
+    p_run.add_argument("--backends", action="append", metavar="B1,B2,...",
+                       help="also run the churn shootout over this "
+                            "comma-separated backend roster (repeatable; "
+                            "names from `python -m repro backends list`)")
     p_run.add_argument("--label", default=None,
                        help="artifact label (default: next free PR<k>)")
     p_run.add_argument("--out", default=None, metavar="PATH",

@@ -164,8 +164,10 @@ def _fig7_traced(tracer: Tracer) -> object:
     return fig7.run(sizes=(64, 4096), tracer=tracer)
 
 
-def _shootout(nthreads: int, iters: int) -> RunnerOutput:
-    res = shootout.run(nthreads=nthreads, iters=iters)
+def _shootout(nthreads: int, iters: int, seed: int = 9,
+              backends: Optional[Sequence[str]] = None) -> RunnerOutput:
+    res = shootout.run(nthreads=nthreads, iters=iters, seed=seed,
+                       which=backends)
     metrics: Dict[str, float] = {}
     for p in res.points:
         metrics[f"pairs_per_s_{_slug(p.name)}"] = p.throughput
@@ -173,7 +175,11 @@ def _shootout(nthreads: int, iters: int) -> RunnerOutput:
     cuda = {p.name: p for p in res.points}.get("CUDA-like")
     if base and cuda and cuda.throughput:
         metrics["ours_vs_cuda_speedup"] = base.throughput / cuda.throughput
-    return metrics, {"nthreads": nthreads, "iters": iters, "size": res.size}
+    params: Dict[str, object] = {"nthreads": nthreads, "iters": iters,
+                                 "size": res.size}
+    if backends is not None:
+        params["backends"] = list(backends)
+    return metrics, params
 
 
 def _fragmentation(rounds: int, nthreads: int) -> RunnerOutput:
@@ -314,6 +320,22 @@ _register(BenchCase(
     full=lambda: _ablation_collective((64, 256, 1024)),
 ))
 
+#: roster for the host-based backend case: the paper allocator, the two
+#: global-lock baselines it is usually compared with, and the Bell-style
+#: host-based design the backend registry added (see EXPERIMENTS.md)
+_HOSTBASED_ROSTER = ("ours", "cuda", "lock-buddy", "hostbased")
+
+_register(BenchCase(
+    name="backends_hostbased",
+    seed=11,
+    description="registry shootout incl. the host-based backend "
+                "[Bell et al. 2024]",
+    quick=lambda: _shootout(nthreads=256, iters=1, seed=11,
+                            backends=_HOSTBASED_ROSTER),
+    full=lambda: _shootout(nthreads=1024, iters=2, seed=11,
+                           backends=_HOSTBASED_ROSTER),
+))
+
 
 # ----------------------------------------------------------------------
 # running
@@ -351,14 +373,50 @@ def run_case(case: BenchCase, tier: str = "quick",
                    wall_seconds=walls, metrics=out, params=params)
 
 
+def resolve_case(name: str) -> BenchCase:
+    """A registered case, or a dynamic ``shootout@b1+b2+...`` case.
+
+    The ``@`` form parameterizes the shootout over any registered
+    backend roster (``python -m repro perf run --backends ours,cuda``):
+    the case name *is* the full parameterization, so it resolves
+    identically in every shard worker and in the artifact's case list.
+    """
+    if name in CASES:
+        return CASES[name]
+    if name.startswith("shootout@"):
+        from ..backends import UnknownBackend, get as get_backend
+
+        raw = [b.strip() for b in name.split("@", 1)[1].split("+")]
+        roster = tuple(b for b in raw if b)
+        if not roster:
+            raise KeyError(f"case {name!r} names no backends")
+        try:
+            labels = ", ".join(get_backend(b).name for b in roster)
+        except UnknownBackend as exc:
+            raise KeyError(f"case {name!r}: {exc.args[0]}") from None
+        return BenchCase(
+            name=name,
+            seed=9,
+            description=f"parameterized churn shootout over {labels}",
+            quick=lambda: _shootout(nthreads=512, iters=1, backends=roster),
+            full=lambda: _shootout(nthreads=2048, iters=2, backends=roster),
+        )
+    raise KeyError(
+        f"unknown case {name!r}; registered: {sorted(CASES)} "
+        "(or 'shootout@b1+b2' to parameterize the shootout by backend)"
+    )
+
+
 def _run_case_named(name: str, tier: str, repeats: Optional[int]) -> CaseRun:
-    """Module-level shard worker: run one registered case by *name*.
+    """Module-level shard worker: run one case by *name*.
 
     ``BenchCase`` runners are lambdas and cannot cross a process
-    boundary; the name can, and every worker rebuilds the registry on
-    import — so this is the picklable unit :func:`run_suite` shards.
+    boundary; the name can (including the ``shootout@...`` form, which
+    re-resolves from the name alone), and every worker rebuilds the
+    registry on import — so this is the picklable unit
+    :func:`run_suite` shards.
     """
-    return run_case(CASES[name], tier, repeats)
+    return run_case(resolve_case(name), tier, repeats)
 
 
 def run_suite(tier: str = "quick", names: Optional[Sequence[str]] = None,
@@ -376,12 +434,7 @@ def run_suite(tier: str = "quick", names: Optional[Sequence[str]] = None,
     if names is None:
         selected = list(CASES.values())
     else:
-        unknown = [n for n in names if n not in CASES]
-        if unknown:
-            raise KeyError(
-                f"unknown case(s) {unknown}; registered: {sorted(CASES)}"
-            )
-        selected = [CASES[n] for n in names]
+        selected = [resolve_case(n) for n in names]
     result = SuiteResult(tier=tier)
     if workers > 1 and len(selected) > 1:
         from ..par.pool import map_sharded, resolve_workers

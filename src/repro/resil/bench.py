@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..core import AllocatorConfig, ThroughputAllocator
+from ..backends import get as get_backend
 from ..sim import DeviceMemory, GPUDevice, Scheduler, ops
 from ..bench.reporting import format_table, si
 from .plan import FaultInjector, FaultPlan
@@ -103,8 +103,11 @@ def _run_level(plan_spec: str, sizes: Sequence[int], nthreads: int,
                hold_cycles: int) -> ResilBenchPoint:
     mem = DeviceMemory(16 << 20)
     device = GPUDevice(num_sms=4, max_resident_blocks=2)
-    cfg = AllocatorConfig(pool_order=pool_order)
-    alloc = ThroughputAllocator(mem, device, cfg)
+    # The degradation bench measures ``malloc_robust``, which only the
+    # paper allocator has; build it through the registry all the same so
+    # its construction matches every other consumer.
+    handle = get_backend("ours").build(mem, device, 4096 << pool_order)
+    alloc = handle.allocator
     plan = FaultPlan.parse(plan_spec) if plan_spec else FaultPlan()
     inj = FaultInjector(plan, seed=seed) if plan else None
     failures: List[int] = []
@@ -133,7 +136,7 @@ def _run_level(plan_spec: str, sizes: Sequence[int], nthreads: int,
     return ResilBenchPoint(
         level="",  # caller fills in
         plan=plan.spec,
-        throughput=report.throughput(max(ok_pairs, 1)),
+        throughput=report.throughput(ok_pairs) if ok_pairs > 0 else 0.0,
         failures=n_fail,
         retries=alloc.stats.n_robust_retries,
         faults=inj.n_injected if inj is not None else 0,

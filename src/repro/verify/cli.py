@@ -69,9 +69,14 @@ def main(argv: Optional[List[str]] = None) -> int:
              f"default all: {', '.join(sorted(SCENARIOS))}",
     )
     parser.add_argument(
+        "--backend", metavar="NAME", default="ours",
+        help="allocator backend to sweep (a repro.backends registry "
+             "name; default 'ours')",
+    )
+    parser.add_argument(
         "--replay", metavar="SPEC", default=None,
-        help="replay one failing case: 'scenario:seed:perturbation' "
-             "(as printed by a failing sweep)",
+        help="replay one failing case: 'scenario[@backend]:seed:"
+             "perturbation' (as printed by a failing sweep)",
     )
     parser.add_argument(
         "--shrink", action="store_true",
@@ -119,7 +124,7 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"perturbation(s) x {len(names)} scenario(s) = {n_cases} cases")
     results = sweep(seeds, deck=deck, scenarios=names,
                     fail_fast=args.fail_fast, log=print,
-                    workers=args.workers)
+                    workers=args.workers, backend=args.backend)
     failures = [r for r in results if not r.ok]
     elapsed = time.time() - t0
     if not failures:

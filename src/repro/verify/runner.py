@@ -20,8 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..core.allocator import ThroughputAllocator
-from ..core.config import AllocatorConfig
+from .. import backends as backend_registry
 from ..bench import workloads
 from ..sim import ops
 from ..sim.cost_model import DEFAULT_COST_MODEL
@@ -45,22 +44,34 @@ class CaseSpec:
     scenario: str
     seed: int
     perturbation: Perturbation = Perturbation()
+    #: registry name of the allocator under test (scenarios drive the
+    #: uniform BackendHandle, so any registered backend fits)
+    backend: str = "ours"
 
     @property
     def replay(self) -> str:
-        """``scenario:seed:perturbation`` — the ``--replay`` argument."""
-        return f"{self.scenario}:{self.seed}:{self.perturbation.spec}"
+        """``scenario[@backend]:seed:perturbation`` — the ``--replay``
+        argument.  The ``@backend`` qualifier is omitted for the default
+        (``ours``) so historic replay strings stay valid and stable."""
+        scen = self.scenario
+        if self.backend != "ours":
+            scen = f"{scen}@{self.backend}"
+        return f"{scen}:{self.seed}:{self.perturbation.spec}"
 
     @classmethod
     def parse(cls, replay: str) -> "CaseSpec":
         parts = replay.split(":", 2)
         if len(parts) < 2:
             raise ValueError(
-                f"bad replay spec {replay!r} (want scenario:seed[:perturbation])"
+                f"bad replay spec {replay!r} "
+                "(want scenario[@backend]:seed[:perturbation])"
             )
         scenario, seed = parts[0], int(parts[1])
+        backend = "ours"
+        if "@" in scenario:
+            scenario, backend = scenario.split("@", 1)
         pert = Perturbation.parse(parts[2]) if len(parts) == 3 else Perturbation()
-        return cls(scenario, seed, pert)
+        return cls(scenario, seed, pert, backend)
 
     def __str__(self) -> str:
         return self.replay
@@ -92,24 +103,36 @@ class CaseResult:
 # scenario harness
 # ----------------------------------------------------------------------
 class _Harness:
-    """Allocator + scheduler wired to one case's knobs and checker."""
+    """Allocator + scheduler wired to one case's knobs and checker.
+
+    The allocator is resolved by backend name through
+    :mod:`repro.backends`; scenarios speak to ``self.handle`` (the
+    uniform :class:`~repro.backends.BackendHandle`), so the same torture
+    deck runs against any registered design.  ``self.alloc`` remains
+    the raw allocator object for backend-specific hooks (mutation
+    tests, the resil runner's tree asserts).
+    """
 
     def __init__(self, seed: int, perturbation: Perturbation,
                  checker: Optional[RaceChecker], pool_order: int,
                  num_sms: int = 4, mem_bytes: int = 16 << 20,
-                 fault_injector: object = None):
+                 fault_injector: object = None, backend: str = "ours"):
         cost, jitter = perturbation.apply(DEFAULT_COST_MODEL)
         self.mem = DeviceMemory(mem_bytes)
         self.device = GPUDevice(num_sms=num_sms, max_resident_blocks=2)
-        self.cfg = AllocatorConfig(pool_order=pool_order)
-        self.alloc = ThroughputAllocator(self.mem, self.device, self.cfg)
+        self.backend = backend_registry.get(backend)
+        self.handle = self.backend.build(
+            self.mem, self.device, 4096 << pool_order
+        )
+        self.alloc = self.handle.allocator
+        self.cfg = getattr(self.alloc, "cfg", None)
         self.sched = Scheduler(
             self.mem, self.device, cost, seed=seed,
             tracer=checker, dispatch_jitter=jitter,
             fault_injector=fault_injector,
         )
         self.checker = checker
-        if checker is not None:
+        if checker is not None and self.handle.caps.race_checkable:
             checker.watch_allocator(self.alloc)
 
     def run(self) -> None:
@@ -118,7 +141,7 @@ class _Harness:
     def checkpoint(self, expect_leak_free: bool = False) -> None:
         """Quiescent phase checkpoint: full invariant validation plus
         (optionally) leak accounting, then checker reset."""
-        self.alloc.host_checkpoint(expect_leak_free=expect_leak_free)
+        self.handle.host_checkpoint(expect_leak_free=expect_leak_free)
         if self.checker is not None:
             self.checker.quiesce()
 
@@ -147,7 +170,7 @@ def _storm(h: _Harness, grid: int = 2, block: int = 32,
     allocators and the chunk path are live concurrently.  NULL results
     (pool pressure) are recorded and skipped by the free phase.
     """
-    alloc = h.alloc
+    alloc = h.handle
 
     def malloc_kernel(ctx):
         got = []
@@ -171,7 +194,7 @@ def _churn(h: _Harness, grid: int = 2, block: int = 32, iters: int = 4) -> None:
     """Steady-state malloc/hold/free churn (bin fill/drain, retirement,
     merge traffic), ending leak-free by construction."""
     sizes = (8, 32, 128, 512)
-    kernel, _ = workloads.churn(h.alloc, sizes, iters, hold_cycles=400)
+    kernel, _ = workloads.churn(h.handle, sizes, iters, hold_cycles=400)
     h.sched.launch(kernel, grid=grid, block=block)
     h.run()
     h.checkpoint(expect_leak_free=True)
@@ -182,7 +205,7 @@ def _producer_consumer(h: _Harness, grid: int = 2, block: int = 32,
     """Cross-arena free traffic: producers on some SMs allocate and
     publish, consumers on others free (the paper's free-anywhere path)."""
     kernel, mailbox = workloads.producer_consumer(
-        h.alloc, size=48, slots=8, mem=h.mem, iters=iters
+        h.handle, size=48, slots=8, mem=h.mem, iters=iters
     )
     h.sched.launch(kernel, grid=grid, block=block)
     h.run()
@@ -197,7 +220,7 @@ def _storm_oom(h: _Harness, grid: int = 2, block: int = 32) -> None:
     batch-promise failure paths (``renege``) in both UAlloc's chunk/bin
     stages and TBuddy's split ascent.  The final checkpoint's
     ``E == R == 0`` accounting proves every failed promise was undone."""
-    alloc = h.alloc
+    alloc = h.handle
     sizes = (1024, 1024, 8192)
 
     def malloc_kernel(ctx):
@@ -210,7 +233,8 @@ def _storm_oom(h: _Harness, grid: int = 2, block: int = 32) -> None:
     handle = h.sched.launch(malloc_kernel, grid=grid, block=block)
     h.run()
     h.checkpoint()
-    assert alloc.stats.n_malloc_failed > 0, (
+    n_null = sum(1 for got in handle.results for p in got if p == _NULL)
+    assert n_null > 0, (
         "storm_oom did not exhaust the pool; shrink pool_order or grow the "
         "request mix so the renege paths are actually exercised"
     )
@@ -248,7 +272,8 @@ def run_case(spec: CaseSpec, check_races: bool = True,
     checker = RaceChecker() if check_races else None
     result = CaseResult(spec)
     try:
-        h = _Harness(spec.seed, spec.perturbation, checker, **harness_kwargs)
+        h = _Harness(spec.seed, spec.perturbation, checker,
+                     backend=spec.backend, **harness_kwargs)
         if allocator_hook is not None:
             allocator_hook(h)
         scenario(h)
@@ -263,7 +288,7 @@ def sweep(seeds: Sequence[int], deck: Sequence[Perturbation] = DEFAULT_DECK,
           scenarios: Optional[Sequence[str]] = None,
           fail_fast: bool = False,
           log: Optional[Callable[[str], None]] = None,
-          workers: int = 1) -> List[CaseResult]:
+          workers: int = 1, backend: str = "ours") -> List[CaseResult]:
     """Run the full seeds x deck x scenarios grid; returns all results.
 
     The seeds -> deck -> scenarios nesting order is the grid's
@@ -277,7 +302,7 @@ def sweep(seeds: Sequence[int], deck: Sequence[Perturbation] = DEFAULT_DECK,
     serial contract.
     """
     names = list(scenarios) if scenarios else list(SCENARIOS)
-    grid = [CaseSpec(name, seed, pert)
+    grid = [CaseSpec(name, seed, pert, backend)
             for seed in seeds for pert in deck for name in names]
     if workers > 1 and len(grid) > 1:
         from ..par.pool import map_sharded

@@ -1,0 +1,44 @@
+"""Every registered backend passes the conformance deck.
+
+The grid is the whole ``product(names(), CHECKS)`` — a new backend
+registration automatically grows the test matrix, and a capability the
+backend does not claim shows up as an explicit skip, never a silent
+pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import names
+from repro.backends.conformance import CHECKS, CheckOutcome, run_check
+
+CHECK_NAMES = [name for name, _ in CHECKS]
+
+
+@pytest.mark.parametrize("backend", names())
+@pytest.mark.parametrize("check", CHECK_NAMES)
+def test_conformance_cell(backend, check):
+    out = run_check(backend, check)
+    if out.status == "skip":
+        pytest.skip(f"{backend}: {out.detail}")
+    assert out.status == "pass", f"{backend}/{check}: {out.detail}"
+
+
+class TestDeckShape:
+    def test_expected_skips_are_declared_not_passed(self):
+        """The deck's skips come from caps, and only where designed."""
+        # bump cannot recycle, XMalloc's stacks carry no allocated-bit
+        assert run_check("bump", "double-free").status == "skip"
+        assert run_check("xmalloc", "double-free").status == "skip"
+        # pool-bounded backends have no size-class ceiling to probe
+        for backend in ("ours", "cuda", "lock-buddy", "bump", "hostbased"):
+            assert run_check(backend, "oversize").status == "skip"
+        # the size-class backends do
+        assert run_check("xmalloc", "oversize").status == "pass"
+        assert run_check("scatteralloc", "oversize").status == "pass"
+
+    def test_outcome_ok_semantics(self):
+        assert CheckOutcome("b", "c", "pass").ok
+        assert CheckOutcome("b", "c", "skip", "why").ok
+        assert not CheckOutcome("b", "c", "fail", "boom").ok

@@ -1,0 +1,87 @@
+"""Mutation tests: deliberately broken allocators must FAIL conformance.
+
+A conformance suite that never fails proves nothing — each test here
+sabotages one allocator invariant behind the registry and asserts the
+deck catches it.  ``monkeypatch`` undoes the sabotage after each test,
+and the last test re-runs the mutated cells clean to prove it.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+from repro.backends.conformance import run_check
+from repro.backends.hostbased import HostBasedAllocator
+from repro.baselines import BumpAllocator, CudaLikeAllocator, ScatterAlloc
+from repro.sim import DeviceMemory, ops
+
+_NULL = DeviceMemory.NULL
+
+
+def test_scatteralloc_leaked_blocks_fail_roundtrip(monkeypatch):
+    """Break ScatterAlloc's free-block accounting: free validates but
+    never clears the bitmap bit, so freed blocks stay marked used."""
+
+    def leaky_free(self, ctx, addr):
+        if addr == _NULL:
+            return
+        yield ops.sleep(1)  # round-trips the "work" but clears nothing
+
+    monkeypatch.setattr(ScatterAlloc, "free", leaky_free)
+    out = run_check("scatteralloc", "roundtrip")
+    assert out.status == "fail"
+    assert "leak" in out.detail
+
+
+def test_cuda_missing_bounds_check_fails_invalid_free(monkeypatch):
+    """Drop the CUDA-like free's pool bounds validation: an out-of-pool
+    free silently 'succeeds' and the deck must notice."""
+
+    def unvalidated_free(self, ctx, addr):
+        return
+        yield  # pragma: no cover - generator shape only
+
+    monkeypatch.setattr(CudaLikeAllocator, "free", unvalidated_free)
+    out = run_check("cuda", "invalid-free-out-of-pool")
+    assert out.status == "fail"
+    assert "accepted silently" in out.detail
+
+
+def test_hostbased_lost_coalescing_fails_roundtrip(monkeypatch):
+    """Break the host free list's eager coalescing: adjacent ranges pile
+    up and the quiescent structural audit must reject them."""
+
+    def no_coalesce(self, off, nbytes):
+        insort(self._free, (off, nbytes))
+
+    monkeypatch.setattr(HostBasedAllocator, "_insert_free", no_coalesce)
+    out = run_check("hostbased", "roundtrip")
+    assert out.status == "fail"
+    assert "uncoalesced" in out.detail
+
+
+def test_bump_miscounted_null_frees_fail_free_null(monkeypatch):
+    """Make the bump pointer count free(NULL) as an invalid free: the
+    universal free(NULL)-is-uncounted contract must catch it."""
+
+    def miscounting_free(self, ctx, addr):
+        self.n_noop_frees += 1
+        return
+        yield  # pragma: no cover - generator shape only
+
+    monkeypatch.setattr(BumpAllocator, "free", miscounting_free)
+    out = run_check("bump", "free-null")
+    assert out.status == "fail"
+    assert "counted" in out.detail
+
+
+def test_mutations_left_no_residue():
+    """After the monkeypatches unwind, the mutated cells pass again."""
+    for backend, check in [
+        ("scatteralloc", "roundtrip"),
+        ("cuda", "invalid-free-out-of-pool"),
+        ("hostbased", "roundtrip"),
+        ("bump", "free-null"),
+    ]:
+        out = run_check(backend, check)
+        assert out.status == "pass", f"{backend}/{check}: {out.detail}"

@@ -1,0 +1,100 @@
+"""Backend registry: lookup, aliasing, collision rejection, building."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import backends
+from repro.backends import Backend, BackendCaps, UnknownBackend
+from repro.sim import DeviceMemory, GPUDevice
+
+#: every allocator the repo implements must resolve through the registry
+EXPECTED_BACKENDS = (
+    "ours",
+    "ours-coalesced",
+    "cuda",
+    "xmalloc",
+    "scatteralloc",
+    "lock-buddy",
+    "bump",
+    "hostbased",
+)
+
+
+class TestLookup:
+    def test_all_backends_registered_in_order(self):
+        assert tuple(backends.names()) == EXPECTED_BACKENDS
+
+    @pytest.mark.parametrize("name", EXPECTED_BACKENDS)
+    def test_resolve_by_name(self, name):
+        assert backends.get(name).name == name
+
+    @pytest.mark.parametrize("key,want", [
+        # historic bench display labels keep working as lookup keys
+        ("ours (scalar)", "ours"),
+        ("ours (coalesced)", "ours-coalesced"),
+        ("CUDA-like", "cuda"),
+        ("XMalloc-like", "xmalloc"),
+        ("ScatterAlloc-like", "scatteralloc"),
+        ("bump pointer", "bump"),
+        ("host-based", "hostbased"),
+        # explicit aliases
+        ("scatter", "scatteralloc"),
+        ("lockbuddy", "lock-buddy"),
+        ("bell", "hostbased"),
+    ])
+    def test_resolve_by_display_and_alias(self, key, want):
+        assert backends.get(key).name == want
+
+    def test_resolution_is_case_insensitive(self):
+        assert backends.get("OURS").name == "ours"
+        assert backends.get("  Cuda-Like ").name == "cuda"
+
+    def test_unknown_name_raises_with_roster(self):
+        with pytest.raises(UnknownBackend, match="ours"):
+            backends.get("tcmalloc")
+
+    def test_duplicate_registration_rejected(self):
+        dupe = Backend(name="ours", display="nope", description="",
+                       builder=lambda *a: None)
+        with pytest.raises(ValueError, match="already registered"):
+            backends.register(dupe)
+
+    def test_alias_collision_rejected(self):
+        dupe = Backend(name="brand-new", display="scatter",
+                       description="", builder=lambda *a: None)
+        with pytest.raises(ValueError, match="already registered"):
+            backends.register(dupe)
+
+
+class TestBuild:
+    @pytest.fixture
+    def env(self):
+        return DeviceMemory(16 << 20), GPUDevice(num_sms=2)
+
+    @pytest.mark.parametrize("name", EXPECTED_BACKENDS)
+    def test_build_yields_working_handle(self, env, name):
+        mem, device = env
+        handle = backends.build(name, mem, device, 1 << 20)
+        assert handle.name == name
+        assert handle.pool_size >= 1 << 20
+        assert handle.pool_base % handle.caps.alignment == 0
+        assert callable(handle.malloc) and callable(handle.free)
+        # host audit hooks are callable at quiescence on a fresh handle
+        assert handle.used_bytes() == 0 or not handle.caps.exact_used_bytes
+        handle.host_check()
+        handle.host_checkpoint(expect_leak_free=True)
+
+    def test_coalesced_capability_matches_entry_point(self, env):
+        mem, device = env
+        for name in EXPECTED_BACKENDS:
+            handle = backends.get(name).build(mem, device, 1 << 18)
+            if handle.caps.supports_coalesced:
+                assert handle.malloc_coalesced is not None
+            else:
+                assert handle.malloc_coalesced is None
+
+    def test_caps_are_frozen(self):
+        caps = BackendCaps()
+        with pytest.raises(AttributeError):
+            caps.alignment = 64

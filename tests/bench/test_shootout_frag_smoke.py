@@ -42,3 +42,33 @@ class TestFragmentation:
         assert p.overhead == 2.5
         empty = fragmentation.FragPoint(round=0, live=0, reserved=10)
         assert empty.overhead == float("inf")
+
+
+class TestShootoutTotalFailure:
+    """Regression: a 100%-failure run used to report throughput(1) — one
+    phantom pair — which ranked a completely broken allocator above a
+    slow-but-correct one.  Zero completed pairs is zero throughput."""
+
+    def test_wipeout_reports_zero_throughput(self):
+        # 8 KB requests exceed ScatterAlloc's one-page size classes:
+        # every malloc returns NULL, so no pair ever completes.
+        res = shootout.run(size=8192, nthreads=64, iters=1,
+                           which=["scatteralloc"])
+        (p,) = res.points
+        assert p.failures == 64
+        assert p.throughput == 0.0
+
+    def test_table_survives_zero_baseline(self):
+        points = [
+            shootout.ShootoutPoint("ours (scalar)", 0.0, 64, 1000),
+            shootout.ShootoutPoint("bump pointer", 5.0e6, 0, 1000),
+        ]
+        res = shootout.ShootoutResult(size=64, nthreads=64, iters=1,
+                                      points=points)
+        table = res.table()
+        # no ZeroDivisionError, and no relative column against a dead base
+        assert "0.00x" not in table and "inf" not in table
+
+    def test_registry_resolution_rejects_unknown_roster(self):
+        with pytest.raises(KeyError):
+            shootout.run(size=64, nthreads=32, iters=1, which=["tcmalloc"])

@@ -98,3 +98,54 @@ class TestValidation:
         cfg = AllocatorConfig(bins_per_chunk=bins)
         tails = 2 * (cfg.bin_size - cfg.bin_header_size) // cfg.tail_size
         assert cfg.n_regular_bins <= tails
+
+
+class TestOrderForPool:
+    """The hoisted pool-order helper every bench used to hand-roll."""
+
+    @pytest.mark.parametrize("pool,want", [
+        (4096, 0),            # exactly one page
+        (8192, 1),
+        (4096 << 6, 6),       # one chunk
+        (1 << 20, 8),         # the benches' 1 MiB pool
+        (4096 << 12, 12),
+    ])
+    def test_exact_on_page_power_pools(self, pool, want):
+        assert AllocatorConfig.order_for_pool(pool) == want
+
+    @pytest.mark.parametrize("pool,want", [
+        (1, 0),               # sub-page request still gets a page
+        (4095, 0),
+        (4097, 1),            # the case the old expression under-covered
+        (8193, 2),
+        ((4096 << 8) + 1, 9),
+    ])
+    def test_rounds_up_off_boundary(self, pool, want):
+        assert AllocatorConfig.order_for_pool(pool) == want
+        # every one of these is a case the legacy hand-rolled expression
+        # got wrong (under-covering above a page, over-covering below)
+        assert (pool // 4096 - 1).bit_length() != want
+
+    @given(pool=st.integers(1, 1 << 32))
+    def test_covers_and_is_tight(self, pool):
+        order = AllocatorConfig.order_for_pool(pool)
+        assert 4096 << order >= pool
+        assert order == 0 or 4096 << (order - 1) < pool
+
+    def test_page_size_parameter(self):
+        assert AllocatorConfig.order_for_pool(1 << 20, page_size=1 << 16) == 4
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            AllocatorConfig.order_for_pool(0)
+        with pytest.raises(ValueError):
+            AllocatorConfig.order_for_pool(-4096)
+        with pytest.raises(ValueError):
+            AllocatorConfig.order_for_pool(4096, page_size=3000)
+
+    def test_for_pool_builds_covering_config(self):
+        cfg = AllocatorConfig.for_pool(1 << 20)
+        assert cfg.pool_order == 8
+        assert cfg.pool_size == 1 << 20
+        with pytest.raises(ValueError):
+            AllocatorConfig.for_pool(1 << 20, pool_order=9)

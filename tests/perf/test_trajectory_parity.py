@@ -1,0 +1,53 @@
+"""The registry rewiring must not move the perf trajectory.
+
+PR6 rewired every bench through :mod:`repro.backends`.  The builders
+promise byte-identical construction (same ``host_alloc`` order and
+alignment, same config derivation), so every case both artifacts share
+must agree on every ``virtual:*`` metric *exactly* — not within
+tolerance.  Wall-clock metrics are machine-dependent and exempt.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+BASELINE = ROOT / "BENCH_PR5.json"
+CURRENT = ROOT / "BENCH_PR6.json"
+
+
+def _virtual_metrics(path: Path):
+    doc = json.loads(path.read_text())
+    return {
+        name: {k: v for k, v in case["metrics"].items()
+               if k.startswith("virtual:")}
+        for name, case in doc["cases"].items()
+    }
+
+
+@pytest.mark.skipif(not (BASELINE.exists() and CURRENT.exists()),
+                    reason="committed BENCH artifacts not present")
+def test_shared_cases_are_byte_identical():
+    base = _virtual_metrics(BASELINE)
+    cur = _virtual_metrics(CURRENT)
+    shared = sorted(set(base) & set(cur))
+    assert shared, "artifacts share no cases — wrong trajectory?"
+    for name in shared:
+        assert cur[name] == base[name], (
+            f"case {name!r}: virtual metrics moved across the registry "
+            f"rewiring\nbase: {base[name]}\ncur:  {cur[name]}"
+        )
+
+
+@pytest.mark.skipif(not CURRENT.exists(),
+                    reason="committed BENCH_PR6.json not present")
+def test_pr6_adds_the_hostbased_case():
+    cur = _virtual_metrics(CURRENT)
+    assert "backends_hostbased" in cur
+    m = cur["backends_hostbased"]
+    # the single-server host queue must cap it below the paper allocator
+    assert (m["virtual:pairs_per_s_host_based"]
+            < m["virtual:pairs_per_s_ours_scalar"])
