@@ -35,6 +35,12 @@ Usage::
     python -m repro backends conform  # conformance deck over backends
         # (the shared contract every backend must satisfy; see
         # DESIGN.md §11 and `backends --help`).
+
+    python -m repro workloads list    # workload zoo: scenario families
+    python -m repro workloads gen     # generate a recorded trace (JSONL)
+    python -m repro workloads replay  # replay a trace on any backend(s)
+        # (multi-tenant Zipfian contention, diurnal bursts, recorded
+        # request streams; see DESIGN.md §12 and `workloads --help`).
 """
 
 from __future__ import annotations
@@ -83,6 +89,10 @@ def main(argv=None) -> int:
         from .backends.cli import main as backends_main
 
         return backends_main(list(argv[1:]))
+    if argv and argv[0] == "workloads":
+        from .workloads.cli import main as workloads_main
+
+        return workloads_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PPoPP'19 allocator paper's evaluation "

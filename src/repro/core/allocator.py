@@ -222,7 +222,27 @@ class ThroughputAllocator:
         retries issued, and attempts that a later retry of this call
         recovered are recorded in ``n_transient`` (so
         ``n_exhaustion - n_transient`` estimates *hard* exhaustion).
+
+        Parameters are validated *eagerly* (this is a plain function
+        returning the retry generator), so a bad ``backoff_base=0`` or
+        negative ``max_retries`` raises ``ValueError`` at the call site
+        instead of surfacing as an opaque ``randrange(0)`` crash
+        mid-kernel.  The sleep interval is always drawn from
+        ``min(backoff, backoff_cap)``: a ``backoff_base`` above the cap
+        (or a doubling that overshoots it) sleeps at the cap, never past
+        it.
         """
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0 (got {max_retries})")
+        if backoff_base <= 0:
+            raise ValueError(f"backoff_base must be > 0 (got {backoff_base})")
+        if backoff_cap <= 0:
+            raise ValueError(f"backoff_cap must be > 0 (got {backoff_cap})")
+        return self._malloc_robust(ctx, nbytes, max_retries,
+                                   backoff_base, backoff_cap)
+
+    def _malloc_robust(self, ctx: ThreadCtx, nbytes: int, max_retries: int,
+                       backoff_base: int, backoff_cap: int):
         if nbytes <= 0:
             self._count_invalid_size()
             return _NULL
@@ -237,7 +257,7 @@ class ThroughputAllocator:
             if failures > max_retries:
                 return _NULL
             self.stats.n_robust_retries += 1
-            yield ops.sleep(ctx.rng.randrange(backoff))
+            yield ops.sleep(ctx.rng.randrange(min(backoff, backoff_cap)))
             if backoff < backoff_cap:
                 backoff <<= 1
 

@@ -67,7 +67,10 @@ def map_sharded(
     ``fn`` and each item must be picklable when ``workers > 1`` (use a
     module-level function or :func:`functools.partial` over one; shard
     by case *name* or *spec*, not by closure).  ``log``, when given,
-    receives one progress line per completed item in completion order.
+    receives one progress line per completed item in completion order —
+    and exactly one ``[0/0]`` summary line for an empty deck, so a
+    logging caller always sees a final ``[done/total]`` line no matter
+    which execution path ran.
     """
     n = len(items)
     workers = resolve_workers(workers)
@@ -77,6 +80,8 @@ def map_sharded(
             results.append(fn(item))
             if log is not None:
                 log(f"  [{i + 1}/{n}] {label(item)}")
+        if n == 0 and log is not None:
+            log("  [0/0] empty deck — nothing to run")
         return results
 
     ctx = multiprocessing.get_context(preferred_start_method())

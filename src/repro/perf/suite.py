@@ -216,6 +216,67 @@ def _resil(nthreads: int, iters: int) -> RunnerOutput:
     return metrics, params
 
 
+def _workload_metrics(metrics: Dict[str, float], report,
+                      backend_key: str) -> None:
+    """Fold one :class:`~repro.workloads.replay.ReplayReport` into the
+    case's metric dict under the backend's slug.  Metric names follow
+    the module convention: ``failure`` keys gate lower-is-better,
+    ``ops_per_s``/``fairness`` higher-is-better."""
+    slug = _slug(backend_key)
+    totals = report.totals
+    metrics[f"ops_per_s_{slug}"] = report.ops_per_s
+    metrics[f"failure_rate_{slug}"] = totals.failure_rate
+    metrics[f"fairness_{slug}"] = report.fairness()
+    metrics[f"worst_tenant_failure_{slug}"] = max(
+        st.failure_rate for st in report.tenants.values())
+
+
+def _workload_family(family: str, seed: int, events: int,
+                     lanes: int = 2,
+                     backends: Sequence[str] = ("ours",),
+                     **overrides) -> RunnerOutput:
+    """Generate a workload-family trace and replay it per backend."""
+    from ..workloads import families as workload_families
+    from ..workloads.replay import replay as replay_trace
+
+    trace = workload_families.generate(family, seed, events=events,
+                                       **overrides)
+    metrics: Dict[str, float] = {}
+    for b in backends:
+        rep = replay_trace(trace, backend=b, seed=seed,
+                           lanes_per_tenant=lanes)
+        _workload_metrics(metrics, rep, b)
+    params: Dict[str, object] = {
+        "family": family, "events": len(trace.events),
+        "tenants": trace.tenants, "lanes_per_tenant": lanes,
+        "backends": list(backends),
+    }
+    params.update(overrides)
+    return metrics, params
+
+
+def _workload_trace(name: str, seed: int, lanes: int = 1,
+                    backends: Sequence[str] = ("ours",)) -> RunnerOutput:
+    """Replay a bundled recorded trace per backend — the committed
+    fixture makes the workload identical on every machine, so the
+    ``virtual:*`` metrics gate exactly across the trajectory."""
+    from ..workloads.replay import replay as replay_trace
+    from ..workloads.trace import load_bundled
+
+    trace = load_bundled(name)
+    metrics: Dict[str, float] = {}
+    for b in backends:
+        rep = replay_trace(trace, backend=b, seed=seed,
+                           lanes_per_tenant=lanes)
+        _workload_metrics(metrics, rep, b)
+    params: Dict[str, object] = {
+        "trace": name, "events": len(trace.events),
+        "tenants": trace.tenants, "lanes_per_tenant": lanes,
+        "backends": list(backends),
+    }
+    return metrics, params
+
+
 def _ablation_buddy(thread_counts: Sequence[int]) -> RunnerOutput:
     res = ablations.run_buddy_ablation(thread_counts=thread_counts)
     peak = thread_counts[-1]
@@ -318,6 +379,36 @@ _register(BenchCase(
     description="collective vs per-thread mutex (list pop)",
     quick=lambda: _ablation_collective((64, 256)),
     full=lambda: _ablation_collective((64, 256, 1024)),
+))
+
+_register(BenchCase(
+    name="workload_multitenant",
+    seed=29,
+    description="multi-tenant Zipfian contention: per-tenant QoS under "
+                "one shared pool",
+    quick=lambda: _workload_family("multi_tenant_zipf", 29, events=600),
+    full=lambda: _workload_family("multi_tenant_zipf", 29, events=2400,
+                                  tenants=8),
+))
+
+_register(BenchCase(
+    name="workload_diurnal",
+    seed=31,
+    description="bursty open-loop diurnal arrivals (triangle-wave rate)",
+    quick=lambda: _workload_family("diurnal_burst", 31, events=600),
+    full=lambda: _workload_family("diurnal_burst", 31, events=2400,
+                                  tenants=4),
+))
+
+_register(BenchCase(
+    name="workload_trace_replay",
+    seed=37,
+    description="bundled recorded-trace replay across backends "
+                "(committed fixture)",
+    quick=lambda: _workload_trace("mt_small", 37,
+                                  backends=("ours", "cuda")),
+    full=lambda: _workload_trace("mt_small", 37, lanes=2,
+                                 backends=("ours", "cuda", "hostbased")),
 ))
 
 #: roster for the host-based backend case: the paper allocator, the two

@@ -74,6 +74,12 @@ class ResilSpec:
         backend = "ours"
         if "@" in scenario:
             scenario, backend = scenario.split("@", 1)
+        if not scenario or not backend:
+            raise ValueError(
+                f"bad resil replay spec {replay!r}: empty "
+                f"{'scenario' if not scenario else 'backend'} fragment "
+                "(want scenario[@backend]:seed[:fault-plan])"
+            )
         plan = FaultPlan.parse(parts[2]) if len(parts) == 3 else FaultPlan()
         return cls(scenario, seed, plan, backend=backend)
 
@@ -211,6 +217,11 @@ QUICK_DECK: List[ResilSpec] = [
           backend="cuda"),
     _spec("churn", 2, "site=spinlock.hold,p=0.05,cycles=2000",
           backend="lock-buddy"),
+    # multi-tenant workload under faults: per-tenant accounting and the
+    # leak-free end must survive NULL injections (skipped-free protocol)
+    # and lock-holder stalls alike
+    _spec("multi_tenant", 1, "site=tbuddy.alloc,p=0.2,max=10"),
+    _spec("multi_tenant", 2, "site=spinlock.hold,p=0.05,cycles=2000"),
 ]
 
 #: nightly deck — quick plus higher rates, more seeds, more scenarios.
@@ -230,6 +241,10 @@ FULL_DECK: List[ResilSpec] = QUICK_DECK + [
           backend="cuda"),
     _spec("producer_consumer", 3,
           "site=spinlock.hold,every=4,cycles=3000", backend="lock-buddy"),
+    _spec("multi_tenant", 3, "site=tbuddy.split,p=0.5,max=8"),
+    _spec("trace_replay", 1, "site=tbuddy.alloc,p=0.3,max=12"),
+    _spec("multi_tenant", 1, "site=spinlock.hold,p=0.05,cycles=2000",
+          backend="cuda"),
 ]
 
 

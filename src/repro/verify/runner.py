@@ -70,6 +70,15 @@ class CaseSpec:
         backend = "ours"
         if "@" in scenario:
             scenario, backend = scenario.split("@", 1)
+        if not scenario or not backend:
+            # Catch `@:3` / `scen@:3` / `@cuda:3` here with a pointed
+            # message instead of constructing a spec that only fails
+            # later with an opaque registry/scenario KeyError.
+            raise ValueError(
+                f"bad replay spec {replay!r}: empty "
+                f"{'scenario' if not scenario else 'backend'} fragment "
+                "(want scenario[@backend]:seed[:perturbation])"
+            )
         pert = Perturbation.parse(parts[2]) if len(parts) == 3 else Perturbation()
         return cls(scenario, seed, pert, backend)
 
@@ -244,12 +253,99 @@ def _storm_oom(h: _Harness, grid: int = 2, block: int = 32) -> None:
     h.checkpoint(expect_leak_free=True)
 
 
+def _check_replay_accounting(trace, stats, totals) -> None:
+    """Per-tenant stats must reconcile exactly with the replayed trace:
+    every recorded event is accounted to its tenant, failures and
+    completions partition the stream, and nothing is double-counted."""
+    from ..workloads.trace import validate as validate_trace
+
+    summary = validate_trace(trace)
+    assert totals.n_malloc == summary["mallocs"], (
+        f"{totals.n_malloc} mallocs accounted vs {summary['mallocs']} "
+        "recorded: per-tenant accounting lost calls"
+    )
+    assert totals.n_free + totals.n_free_skipped == summary["frees"], (
+        f"{totals.n_free} frees + {totals.n_free_skipped} skipped vs "
+        f"{summary['frees']} recorded"
+    )
+    assert totals.n_free_skipped == totals.n_malloc_failed, (
+        "a balanced trace must skip exactly one free per failed malloc "
+        f"(skipped {totals.n_free_skipped}, failed {totals.n_malloc_failed})"
+    )
+    for t, st in stats.items():
+        assert st.n_malloc == summary["mallocs_per_tenant"][t], (
+            f"tenant {t}: {st.n_malloc} mallocs accounted vs "
+            f"{summary['mallocs_per_tenant'][t]} recorded"
+        )
+        assert st.bytes_served <= st.bytes_requested, (
+            f"tenant {t}: served {st.bytes_served} > requested "
+            f"{st.bytes_requested}"
+        )
+
+
+def _replay_trace_scenario(h: _Harness, trace, lanes: int) -> None:
+    """Shared tail of the workload scenarios: replay, reconcile the
+    per-tenant accounting, cross-check the allocator's own AllocStats
+    (paper backend only), and end with a leak-free checkpoint."""
+    from ..workloads.replay import TenantStats, replay_on_scheduler
+
+    stats, _ = replay_on_scheduler(h.sched, h.handle, trace,
+                                   lanes_per_tenant=lanes,
+                                   max_events=EVENT_BUDGET)
+    totals = TenantStats()
+    for st in stats.values():
+        totals.add(st)
+    _check_replay_accounting(trace, stats, totals)
+    alloc_stats = getattr(h.alloc, "stats", None)
+    if alloc_stats is not None:
+        # The allocator's own counters and the tenant ledgers describe
+        # the same call stream from two vantage points; they must agree.
+        assert alloc_stats.n_malloc == totals.n_malloc, (
+            f"AllocStats saw {alloc_stats.n_malloc} mallocs, tenant "
+            f"ledgers {totals.n_malloc}"
+        )
+        assert alloc_stats.n_malloc_failed == totals.n_malloc_failed, (
+            f"AllocStats saw {alloc_stats.n_malloc_failed} failures, "
+            f"tenant ledgers {totals.n_malloc_failed}"
+        )
+        assert alloc_stats.n_free == totals.n_free, (
+            f"AllocStats saw {alloc_stats.n_free} frees, tenant ledgers "
+            f"{totals.n_free}"
+        )
+    h.checkpoint(expect_leak_free=True)
+
+
+def _multi_tenant(h: _Harness, events: int = 160, tenants: int = 4,
+                  lanes: int = 2) -> None:
+    """Multi-tenant Zipfian contention: skewed per-tenant rates and size
+    mixes over one pool, replayed across two lanes per tenant (frees can
+    cross lanes), with exact per-tenant accounting and a leak-free end."""
+    from ..workloads import families as workload_families
+
+    trace = workload_families.generate(
+        "multi_tenant_zipf", h.sched.seed,
+        events=events, tenants=tenants, mean_gap=60,
+    )
+    _replay_trace_scenario(h, trace, lanes)
+
+
+def _trace_replay(h: _Harness, lanes: int = 1) -> None:
+    """Recorded-trace replay: the bundled recorded request stream drives
+    the backend under schedule fuzzing (the trace is fixed data; the
+    seed/perturbation vary the interleaving around it)."""
+    from ..workloads.trace import load_bundled
+
+    _replay_trace_scenario(h, load_bundled("mt_small"), lanes)
+
+
 #: scenario name -> (builder kwargs for _Harness, scenario function)
 SCENARIOS: Dict[str, tuple] = {
     "storm": ({"pool_order": 9}, _storm),
     "churn": ({"pool_order": 8}, _churn),
     "producer_consumer": ({"pool_order": 8}, _producer_consumer),
     "storm_oom": ({"pool_order": 7}, _storm_oom),
+    "multi_tenant": ({"pool_order": 8}, _multi_tenant),
+    "trace_replay": ({"pool_order": 8}, _trace_replay),
 }
 
 

@@ -1,0 +1,48 @@
+"""The workload zoo: generated and recorded allocation scenarios.
+
+Three layers, one wire format (see DESIGN.md §12):
+
+* :mod:`repro.workloads.families` — the registry of parameterized
+  scenario generators (multi-tenant Zipfian contention, bursty diurnal
+  open-loop arrivals), each deterministically producing a
+* :mod:`repro.workloads.trace` — versioned JSONL recorded-trace
+  documents (``repro.workloads/1``) with a recorder and validator, fed
+  through
+* :mod:`repro.workloads.replay` — the deterministic replayer that
+  drives any registered :mod:`repro.backends` backend and reports
+  per-tenant :class:`~.replay.TenantStats` QoS.
+
+CLI: ``python -m repro workloads {list,gen,replay}``.
+"""
+
+from .families import (  # noqa: F401
+    DEFAULT_SIZE_CLASSES,
+    FAMILIES,
+    WorkloadFamily,
+    generate,
+)
+from .replay import (  # noqa: F401
+    ReplayReport,
+    TenantStats,
+    replay,
+    replay_on_scheduler,
+)
+from .trace import (  # noqa: F401
+    SCHEMA,
+    Trace,
+    TraceError,
+    TraceEvent,
+    TraceRecorder,
+    dump,
+    dumps,
+    load,
+    loads,
+    validate,
+)
+
+__all__ = [
+    "DEFAULT_SIZE_CLASSES", "FAMILIES", "WorkloadFamily", "generate",
+    "ReplayReport", "TenantStats", "replay", "replay_on_scheduler",
+    "SCHEMA", "Trace", "TraceError", "TraceEvent", "TraceRecorder",
+    "dump", "dumps", "load", "loads", "validate",
+]

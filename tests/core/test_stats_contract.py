@@ -7,12 +7,15 @@ is now explicit (see :class:`repro.core.allocator.AllocStats`); these
 tests pin it.
 """
 
+import random
+
 import pytest
 
 from repro.core import AllocatorConfig, ThroughputAllocator
 from repro.core.tbuddy import InvalidFree
 from repro.sim import DeviceMemory, GPUDevice
 from repro.sim.hostrun import drive, host_ctx
+from repro.sync.bulk_semaphore import C_GUARD
 
 NULL = DeviceMemory.NULL
 
@@ -87,6 +90,79 @@ class TestFreeCounting:
         alloc.host_checkpoint(expect_leak_free=True)
 
 
+class _RecordingRng(random.Random):
+    """Records every ``randrange`` bound drawn (backoff-cap probing)."""
+
+    def __init__(self, seed=0):
+        super().__init__(seed)
+        self.bounds = []
+
+    def randrange(self, *args, **kwargs):
+        self.bounds.append(args[0])
+        return super().randrange(*args, **kwargs)
+
+
+class TestMallocRobustParams:
+    @pytest.mark.parametrize("kwargs, match", [
+        ({"max_retries": -1}, "max_retries"),
+        ({"backoff_base": 0}, "backoff_base"),
+        ({"backoff_base": -16}, "backoff_base"),
+        ({"backoff_cap": 0}, "backoff_cap"),
+    ])
+    def test_bad_params_raise_at_the_call_site(self, kwargs, match):
+        # backoff_base=0 used to surface as randrange(0) mid-kernel on
+        # the first retry; validation is now eager — before any yield.
+        _, alloc = make_alloc()
+        with pytest.raises(ValueError, match=match):
+            alloc.malloc_robust(host_ctx(), 64, **kwargs)
+        assert alloc.stats.n_malloc == 0
+
+    def test_zero_retries_is_plain_malloc(self):
+        mem, alloc = make_alloc()
+        p = drive(mem, alloc.malloc_robust(host_ctx(), 64, max_retries=0))
+        assert p != NULL
+        assert alloc.stats.n_robust_retries == 0
+        drive(mem, alloc.free(host_ctx(), p))
+
+    @staticmethod
+    def _always_null(alloc):
+        """Stub out the underlying malloc so the backoff sleeps are the
+        only ``rng.randrange`` draws the test observes (a real failing
+        malloc also draws for semaphore spin backoff)."""
+        def fake_malloc(ctx, nbytes):
+            alloc.stats.n_malloc += 1
+            alloc.stats.n_malloc_failed += 1
+            return NULL
+            yield  # pragma: no cover — generator marker
+
+        alloc.malloc = fake_malloc
+
+    def test_backoff_never_exceeds_cap(self):
+        mem, alloc = make_alloc()
+        self._always_null(alloc)
+        ctx = host_ctx()
+        ctx.rng = _RecordingRng()
+        # base above the cap: the first sleep must already clamp (the
+        # old code only capped after doubling, so base > cap slept an
+        # uncapped randrange(base) on the first retry)
+        p = drive(mem, alloc.malloc_robust(ctx, 4096, max_retries=3,
+                                           backoff_base=1 << 20,
+                                           backoff_cap=512))
+        assert p == NULL
+        assert ctx.rng.bounds == [512, 512, 512]
+        assert alloc.stats.n_robust_retries == 3
+
+    def test_backoff_doubles_up_to_cap(self):
+        mem, alloc = make_alloc()
+        self._always_null(alloc)
+        ctx = host_ctx()
+        ctx.rng = _RecordingRng()
+        assert drive(mem, alloc.malloc_robust(ctx, 4096, max_retries=4,
+                                              backoff_base=100,
+                                              backoff_cap=350)) == NULL
+        assert ctx.rng.bounds == [100, 200, 350, 350]
+
+
 class TestPressureGauge:
     def test_fresh_pool_reads_fully_free(self):
         _, alloc = make_alloc()
@@ -118,6 +194,27 @@ class TestPressureGauge:
         for p in ptrs:
             drive(mem, alloc.free(host_ctx(), p))
         alloc.ualloc.host_gc()
+        assert alloc.host_pressure().free_bytes == alloc.cfg.pool_size
+
+    def test_in_flight_borrow_clamps_to_zero(self):
+        """A claim that overdraws ``C`` momentarily borrows from ``E``,
+        leaving ``C >= C_GUARD`` in the raw word.  A gauge snapshot taken
+        mid-claim must clamp that order to 0, not report the wrapped
+        count as supply.  ``pack()`` refuses to build borrowed states,
+        so poke the raw word directly — exactly what a racing claimant's
+        fetch-and-add leaves behind."""
+        mem, alloc = make_alloc()
+        top = alloc.cfg.pool_order
+        sem = alloc.tbuddy.sems[top]  # fresh pool: C == 1 here
+        assert alloc.host_pressure().free_per_order[top] == 1
+        saved = mem.load_word(sem.addr)
+        mem.store_word(sem.addr, saved + C_GUARD)  # C-field borrow
+        gauge = alloc.host_pressure()
+        assert gauge.free_per_order[top] == 0
+        assert gauge.free_bytes == 0
+        # mid-claim snapshots under-report; they must never over-report
+        assert gauge.pressure == 1.0
+        mem.store_word(sem.addr, saved)
         assert alloc.host_pressure().free_bytes == alloc.cfg.pool_size
 
     def test_whole_pool_allocation_maxes_pressure(self):

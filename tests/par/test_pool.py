@@ -63,6 +63,14 @@ class TestMapSharded:
         with pytest.raises(ValueError, match="shard went bad"):
             map_sharded(_explode_on_three, [3], workers=1)
 
+    def test_empty_items_still_log_a_deck_line(self):
+        # The inline path used to skip logging entirely for an empty
+        # deck, so `verify --scenario x --seeds ''`-style runs looked
+        # hung rather than trivially complete.
+        lines: list = []
+        assert map_sharded(_square, [], workers=1, log=lines.append) == []
+        assert lines == ["  [0/0] empty deck — nothing to run"]
+
     def test_log_sees_every_item(self):
         lines: list = []
         map_sharded(_square, [1, 2, 3], workers=2, log=lines.append)

@@ -1,10 +1,10 @@
-"""The registry rewiring must not move the perf trajectory.
+"""Trajectory parity: adjacent BENCH artifacts must agree exactly.
 
-PR6 rewired every bench through :mod:`repro.backends`.  The builders
-promise byte-identical construction (same ``host_alloc`` order and
-alignment, same config derivation), so every case both artifacts share
-must agree on every ``virtual:*`` metric *exactly* — not within
-tolerance.  Wall-clock metrics are machine-dependent and exempt.
+PR6 rewired every bench through :mod:`repro.backends`; PR7 added the
+workload-zoo cases.  Neither change touches how the pre-existing cases
+execute, so every case two adjacent artifacts share must agree on every
+``virtual:*`` metric *exactly* — not within tolerance.  Wall-clock
+metrics are machine-dependent and exempt.
 """
 
 from __future__ import annotations
@@ -15,8 +15,12 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parents[2]
-BASELINE = ROOT / "BENCH_PR5.json"
-CURRENT = ROOT / "BENCH_PR6.json"
+PR5 = ROOT / "BENCH_PR5.json"
+PR6 = ROOT / "BENCH_PR6.json"
+PR7 = ROOT / "BENCH_PR7.json"
+
+#: adjacent (baseline, current) artifact pairs along the trajectory
+PAIRS = [(PR5, PR6), (PR6, PR7)]
 
 
 def _virtual_metrics(path: Path):
@@ -28,26 +32,47 @@ def _virtual_metrics(path: Path):
     }
 
 
-@pytest.mark.skipif(not (BASELINE.exists() and CURRENT.exists()),
-                    reason="committed BENCH artifacts not present")
-def test_shared_cases_are_byte_identical():
-    base = _virtual_metrics(BASELINE)
-    cur = _virtual_metrics(CURRENT)
+@pytest.mark.parametrize(
+    "baseline, current", PAIRS,
+    ids=[f"{b.stem}-vs-{c.stem}" for b, c in PAIRS])
+def test_shared_cases_are_byte_identical(baseline, current):
+    if not (baseline.exists() and current.exists()):
+        pytest.skip("committed BENCH artifacts not present")
+    base = _virtual_metrics(baseline)
+    cur = _virtual_metrics(current)
     shared = sorted(set(base) & set(cur))
     assert shared, "artifacts share no cases — wrong trajectory?"
     for name in shared:
         assert cur[name] == base[name], (
-            f"case {name!r}: virtual metrics moved across the registry "
-            f"rewiring\nbase: {base[name]}\ncur:  {cur[name]}"
+            f"case {name!r}: virtual metrics moved between "
+            f"{baseline.name} and {current.name}\n"
+            f"base: {base[name]}\ncur:  {cur[name]}"
         )
 
 
-@pytest.mark.skipif(not CURRENT.exists(),
+@pytest.mark.skipif(not PR6.exists(),
                     reason="committed BENCH_PR6.json not present")
 def test_pr6_adds_the_hostbased_case():
-    cur = _virtual_metrics(CURRENT)
+    cur = _virtual_metrics(PR6)
     assert "backends_hostbased" in cur
     m = cur["backends_hostbased"]
     # the single-server host queue must cap it below the paper allocator
     assert (m["virtual:pairs_per_s_host_based"]
             < m["virtual:pairs_per_s_ours_scalar"])
+
+
+@pytest.mark.skipif(not PR7.exists(),
+                    reason="committed BENCH_PR7.json not present")
+def test_pr7_adds_the_workload_cases():
+    cur = _virtual_metrics(PR7)
+    for case in ("workload_multitenant", "workload_diurnal",
+                 "workload_trace_replay"):
+        assert case in cur, f"PR7 artifact is missing {case!r}"
+    replayed = cur["workload_trace_replay"]
+    # the recorded trace runs on both designs, and the paper allocator
+    # must outrun the global-lock baseline on it
+    assert (replayed["virtual:ops_per_s_ours"]
+            > replayed["virtual:ops_per_s_cuda"])
+    mt = cur["workload_multitenant"]
+    # Zipfian rate skew shows up as measurably uneven service
+    assert mt["virtual:fairness_ours"] < 0.999

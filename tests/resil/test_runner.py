@@ -31,6 +31,17 @@ class TestResilSpec:
         with pytest.raises(ValueError):
             ResilSpec.parse("storm:notanint:site=tbuddy.split")
 
+    @pytest.mark.parametrize("raw", ["@:1", "storm@:1", "@cuda:1"])
+    def test_parse_rejects_empty_fragments(self, raw):
+        with pytest.raises(ValueError, match="empty"):
+            ResilSpec.parse(raw)
+
+    def test_deck_covers_workload_scenarios(self):
+        # the multi-tenant workload runs under faults in the smoke deck,
+        # and the recorded-trace replay in the nightly deck
+        assert any(s.scenario == "multi_tenant" for s in QUICK_DECK)
+        assert any(s.scenario == "trace_replay" for s in FULL_DECK)
+
 
 class TestDecks:
     def test_deck_for_tiers(self):

@@ -27,6 +27,18 @@ class TestCaseSpec:
         with pytest.raises(ValueError):
             CaseSpec.parse("storm:notanint")
 
+    def test_parse_round_trips_backend_qualifier(self):
+        spec = CaseSpec.parse("storm@cuda:3")
+        assert (spec.scenario, spec.backend, spec.seed) == ("storm", "cuda", 3)
+        assert CaseSpec.parse(spec.replay) == spec
+
+    @pytest.mark.parametrize("raw", ["@:3", "scen@:3", "@cuda:3", "@:0:"])
+    def test_parse_rejects_empty_fragments(self, raw):
+        # `scen@:3` used to build a spec with backend="" that only blew
+        # up later as an opaque registry KeyError; reject it at parse.
+        with pytest.raises(ValueError, match="empty"):
+            CaseSpec.parse(raw)
+
     def test_str_is_replay(self):
         assert str(CaseSpec("churn", 0)) == "churn:0:"
 

@@ -1,0 +1,110 @@
+"""Workload families: registry surface, determinism, balance, shape."""
+
+import pytest
+
+from repro.workloads import families
+from repro.workloads.families import WorkloadFamily, generate, get, register
+from repro.workloads.trace import dumps, validate
+
+
+class TestRegistry:
+    def test_both_families_registered(self):
+        assert set(families.names()) >= {"multi_tenant_zipf", "diurnal_burst"}
+
+    def test_unknown_family_lists_registered(self):
+        with pytest.raises(KeyError, match="multi_tenant_zipf"):
+            get("warp_storm")
+
+    def test_unknown_param_rejected_with_surface(self):
+        with pytest.raises(ValueError, match="accepted:"):
+            generate("multi_tenant_zipf", 0, warp_size=32)
+
+    def test_duplicate_registration_rejected(self):
+        fam = families.FAMILIES["diurnal_burst"]
+        with pytest.raises(ValueError, match="already registered"):
+            register(WorkloadFamily(fam.name, "dup", fam.defaults,
+                                    fam.generator))
+
+
+@pytest.mark.parametrize("family", ["multi_tenant_zipf", "diurnal_burst"])
+class TestEveryFamily:
+    def test_deterministic_given_seed(self, family):
+        a = generate(family, 5, events=80)
+        b = generate(family, 5, events=80)
+        assert dumps(a) == dumps(b)
+        assert dumps(a) != dumps(generate(family, 6, events=80))
+
+    def test_balanced_and_valid(self, family):
+        s = validate(generate(family, 3, events=120))
+        assert s["live_at_end"] == 0
+        assert s["mallocs"] == s["frees"]
+
+    def test_params_recorded_in_header(self, family):
+        t = generate(family, 1, events=50)
+        assert t.params["events"] == 50
+        assert t.seed == 1
+        assert t.family == family
+
+    def test_sizes_come_from_the_class_list(self, family):
+        t = generate(family, 2, events=100, size_classes=(64, 4096))
+        sizes = {e.size for e in t.events if e.op == "malloc"}
+        assert sizes <= {64, 4096}
+
+    def test_zero_events_still_valid(self, family):
+        s = validate(generate(family, 0, events=0))
+        assert s["events"] == 0
+
+
+class TestMultiTenantZipf:
+    def test_rate_skew_concentrates_requests(self):
+        t = generate("multi_tenant_zipf", 11, events=600, rate_skew=2.0)
+        per = validate(t)["mallocs_per_tenant"]
+        assert per[0] > max(per[1:])
+
+    def test_max_live_bounds_outstanding(self):
+        t = generate("multi_tenant_zipf", 7, events=400, max_live=3)
+        live = {}
+        for e in t.events:
+            if e.op == "malloc":
+                live.setdefault(e.tenant, set()).add(e.id)
+            else:
+                live[e.tenant].discard(e.id)
+            assert len(live[e.tenant]) <= 3
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="tenants"):
+            generate("multi_tenant_zipf", 0, tenants=0)
+        with pytest.raises(ValueError, match="events"):
+            generate("multi_tenant_zipf", 0, events=-1)
+
+
+class TestDiurnalBurst:
+    def test_rate_profile_is_a_triangle(self):
+        rate = families._diurnal_rate
+        assert rate(0, 100, 4.0) == 1.0
+        assert rate(50, 100, 4.0) == 4.0
+        assert rate(100, 100, 4.0) == 1.0
+        assert 1.0 < rate(25, 100, 4.0) < 4.0
+        # symmetric around the peak
+        assert rate(30, 100, 4.0) == rate(70, 100, 4.0)
+
+    def test_burst_phases_pack_events_denser(self):
+        t = generate("diurnal_burst", 13, events=500,
+                     period=10000, burst=8.0, base_gap=200)
+        # mean gap at peak approaches base_gap/burst; a trough event is
+        # ~base_gap apart.  Compare arrival density in the first half of
+        # a period (rising toward peak) against a flat profile.
+        times = [e.time for e in t.events]
+        assert times == sorted(times)
+        by_phase = {"peak": 0, "trough": 0}
+        for x in times:
+            phase = x % 10000
+            mid = min(phase, 10000 - phase)  # distance from trough
+            by_phase["peak" if mid > 2500 else "trough"] += 1
+        assert by_phase["peak"] > by_phase["trough"]
+
+    def test_rejects_bad_profile(self):
+        with pytest.raises(ValueError, match="period"):
+            generate("diurnal_burst", 0, period=1)
+        with pytest.raises(ValueError, match="burst"):
+            generate("diurnal_burst", 0, burst=0.5)

@@ -1,0 +1,153 @@
+"""Trace format: recorder contract, validation, serialization round-trip."""
+
+import json
+
+import pytest
+
+from repro.workloads.trace import (
+    SCHEMA,
+    Trace,
+    TraceError,
+    TraceEvent,
+    TraceRecorder,
+    bundled_path,
+    dump,
+    dumps,
+    load,
+    load_bundled,
+    loads,
+    validate,
+)
+
+
+def small_trace() -> Trace:
+    rec = TraceRecorder("test", 1, tenants=2)
+    a = rec.malloc(0, 64, time=10)
+    b = rec.malloc(1, 256, time=20)
+    rec.free(a, time=30)
+    rec.free(b, time=40)
+    return rec.trace()
+
+
+class TestRecorder:
+    def test_contract_enforced_at_record_time(self):
+        rec = TraceRecorder("t", 0, tenants=2)
+        eid = rec.malloc(0, 64, time=100)
+        with pytest.raises(TraceError, match="non-decreasing"):
+            rec.malloc(0, 64, time=50)
+        with pytest.raises(TraceError, match="out of range"):
+            rec.malloc(2, 64, time=200)
+        with pytest.raises(TraceError, match="size must be >= 1"):
+            rec.malloc(0, 0, time=200)
+        rec.free(eid, time=200)
+        with pytest.raises(TraceError, match="already freed"):
+            rec.free(eid, time=300)
+        with pytest.raises(TraceError, match="never allocated"):
+            rec.free(999, time=300)
+
+    def test_rejects_zero_tenants(self):
+        with pytest.raises(TraceError, match="tenants"):
+            TraceRecorder("t", 0, tenants=0)
+
+    def test_live_ids_track_outstanding(self):
+        rec = TraceRecorder("t", 0, tenants=1)
+        a = rec.malloc(0, 8, time=1)
+        b = rec.malloc(0, 8, time=2)
+        assert rec.live_ids == [a, b]
+        rec.free(a, time=3)
+        assert rec.live_ids == [b]
+
+
+class TestValidate:
+    def test_summary_of_balanced_trace(self):
+        s = validate(small_trace())
+        assert s["events"] == 4
+        assert s["mallocs"] == s["frees"] == 2
+        assert s["live_at_end"] == 0
+        assert s["duration"] == 40
+        assert s["mallocs_per_tenant"] == [1, 1]
+
+    def test_detects_double_free(self):
+        t = small_trace()
+        t.events.append(TraceEvent("free", 0, 0, 50))
+        with pytest.raises(TraceError, match="double free"):
+            validate(t)
+
+    def test_detects_cross_tenant_free(self):
+        t = small_trace()
+        t.events = [
+            TraceEvent("malloc", 0, 0, 1, 64),
+            TraceEvent("free", 0, 1, 2),
+        ]
+        with pytest.raises(TraceError, match="tenant 0 allocated it"):
+            validate(t)
+
+    def test_detects_time_regression(self):
+        t = small_trace()
+        t.events[1] = TraceEvent("malloc", 9, 1, 5, 256)
+        with pytest.raises(TraceError, match="non-decreasing"):
+            validate(t)
+
+    def test_detects_unknown_op(self):
+        t = small_trace()
+        t.events.append(TraceEvent("realloc", 7, 0, 99))
+        with pytest.raises(TraceError, match="unknown op"):
+            validate(t)
+
+
+class TestSerialization:
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        t = small_trace()
+        path = dump(t, tmp_path / "t.jsonl")
+        again = load(path)
+        assert dumps(again) == dumps(t)
+        assert again.events == t.events
+        assert again.header() == t.header()
+
+    def test_header_is_first_line_with_schema(self):
+        first = json.loads(dumps(small_trace()).splitlines()[0])
+        assert first["schema"] == SCHEMA
+
+    def test_rejects_wrong_schema(self):
+        text = dumps(small_trace()).replace(SCHEMA, "repro.workloads/99")
+        with pytest.raises(TraceError, match="unsupported trace schema"):
+            loads(text)
+
+    def test_rejects_missing_header_key(self):
+        header = small_trace().header()
+        del header["tenants"]
+        with pytest.raises(TraceError, match="missing key 'tenants'"):
+            loads(json.dumps(header) + "\n")
+
+    def test_rejects_empty_and_malformed(self, tmp_path):
+        with pytest.raises(TraceError, match="empty trace file"):
+            loads("")
+        with pytest.raises(TraceError, match="not valid JSON"):
+            loads("{nope\n")
+        text = dumps(small_trace()) + '{"op": "malloc"}\n'
+        with pytest.raises(TraceError, match="malformed event"):
+            loads(text)
+        with pytest.raises(TraceError, match="cannot read"):
+            load(tmp_path / "missing.jsonl")
+
+    def test_load_reports_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(dumps(small_trace()) + "[]\n")
+        with pytest.raises(TraceError, match=r"bad\.jsonl:6"):
+            load(path)
+
+
+class TestBundled:
+    def test_bundled_trace_is_valid_and_balanced(self):
+        t = load_bundled("mt_small")
+        s = validate(t)
+        assert s["live_at_end"] == 0
+        assert s["mallocs"] > 50
+        assert t.tenants == 4
+        assert bundled_path("mt_small").exists()
+
+    def test_bundled_file_is_canonical(self):
+        # The committed fixture must be exactly what dumps() would
+        # write, so regeneration never produces a spurious diff.
+        assert bundled_path("mt_small").read_text() == \
+            dumps(load_bundled("mt_small"))
