@@ -41,6 +41,11 @@ Usage::
     python -m repro workloads replay  # replay a trace on any backend(s)
         # (multi-tenant Zipfian contention, diurnal bursts, recorded
         # request streams; see DESIGN.md §12 and `workloads --help`).
+
+    python -m repro serve run     # allocator-as-a-service over TCP:
+    python -m repro serve bench   # admission control + episode batching
+    python -m repro serve record  # + socket load generation and ledger
+        # reconciliation (see DESIGN.md §13 and `serve --help`).
 """
 
 from __future__ import annotations
@@ -64,39 +69,41 @@ _TARGETS = {
 _TRACEABLE = frozenset({"fig5", "fig6", "fig7"})
 
 
+def _load_cli(module_name: str):
+    """Import ``repro.<module>.cli`` and return its ``main``."""
+    import importlib
+
+    return importlib.import_module(f".{module_name}.cli", __package__).main
+
+
+#: subsystems owning their own argument surface: first argv token ->
+#: (cli module, one-line description for --help).  Dispatch happens
+#: before the experiment parser ever sees the argv.
+_SUBSYSTEMS = {
+    "verify": ("verify", "schedule fuzzing + race detection + replay"),
+    "perf": ("perf", "benchmark suite, regression gate, profiling"),
+    "resil": ("resil", "fault injection with recovery assertions"),
+    "par": ("par", "sharded parallel deck execution"),
+    "backends": ("backends", "allocator-backend registry + conformance"),
+    "workloads": ("workloads", "workload zoo: generate + replay traces"),
+    "serve": ("serve", "allocator-as-a-service: admission + batching"),
+}
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "verify":
-        # The verification subsystem owns its own argument surface;
-        # dispatch before the experiment parser sees the argv.
-        from .verify.cli import main as verify_main
-
-        return verify_main(list(argv[1:]))
-    if argv and argv[0] == "perf":
-        from .perf.cli import main as perf_main
-
-        return perf_main(list(argv[1:]))
-    if argv and argv[0] == "resil":
-        from .resil.cli import main as resil_main
-
-        return resil_main(list(argv[1:]))
-    if argv and argv[0] == "par":
-        from .par.cli import main as par_main
-
-        return par_main(list(argv[1:]))
-    if argv and argv[0] == "backends":
-        from .backends.cli import main as backends_main
-
-        return backends_main(list(argv[1:]))
-    if argv and argv[0] == "workloads":
-        from .workloads.cli import main as workloads_main
-
-        return workloads_main(list(argv[1:]))
+    if argv and argv[0] in _SUBSYSTEMS:
+        module_name, _ = _SUBSYSTEMS[argv[0]]
+        return _load_cli(module_name)(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PPoPP'19 allocator paper's evaluation "
                     "on the simulator.",
+        epilog="subsystems (each owns its own flags; see "
+               "`python -m repro <name> --help`): "
+               + "; ".join(f"{name} — {desc}"
+                           for name, (_, desc) in sorted(_SUBSYSTEMS.items())),
     )
     parser.add_argument(
         "target",

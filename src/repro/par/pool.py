@@ -50,12 +50,17 @@ def resolve_workers(workers: int = 0) -> int:
     return workers
 
 
+#: seconds between liveness heartbeats while shards are in flight
+HEARTBEAT_S = 30.0
+
+
 def map_sharded(
     fn: Callable[[Any], Any],
     items: Sequence[Any],
     workers: int = 0,
     log: Optional[Callable[[str], None]] = None,
     label: Callable[[Any], str] = str,
+    heartbeat_s: float = HEARTBEAT_S,
 ) -> List[Any]:
     """Apply ``fn`` to every item, sharded across worker processes.
 
@@ -70,7 +75,11 @@ def map_sharded(
     receives one progress line per completed item in completion order —
     and exactly one ``[0/0]`` summary line for an empty deck, so a
     logging caller always sees a final ``[done/total]`` line no matter
-    which execution path ran.
+    which execution path ran.  When no shard completes for
+    ``heartbeat_s`` seconds, ``log`` also receives a liveness line
+    naming the still-running shards — long decks (full-tier perf,
+    nightly resil) otherwise sit silent for minutes and are
+    indistinguishable from a hang.
     """
     n = len(items)
     workers = resolve_workers(workers)
@@ -93,7 +102,19 @@ def map_sharded(
         pending = set(futures)
         try:
             while pending:
-                finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                finished, pending = wait(pending, timeout=heartbeat_s,
+                                         return_when=FIRST_EXCEPTION)
+                if not finished and log is not None:
+                    # Heartbeat: nothing completed within the window.
+                    running = sorted(futures[f] for f in pending)
+                    shown = ", ".join(label(items[i])
+                                      for i in running[:4])
+                    more = len(running) - 4
+                    if more > 0:
+                        shown += f", +{more} more"
+                    log(f"  [{done_count}/{n}] {len(running)} shard(s) "
+                        f"still running: {shown}")
+                    continue
                 for fut in finished:
                     i = futures[fut]
                     results[i] = fut.result()  # re-raises worker exceptions

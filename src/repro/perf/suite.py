@@ -277,6 +277,39 @@ def _workload_trace(name: str, seed: int, lanes: int = 1,
     return metrics, params
 
 
+def _serve_replay(name: str, seed: int, batch_max: int = 16,
+                  quota_bytes: Optional[int] = None,
+                  pool: int = 1 << 20,
+                  backends: Sequence[str] = ("ours",)) -> RunnerOutput:
+    """Serve a bundled trace through the allocator service's
+    deterministic feeder, per backend: admission control (quota +
+    pressure) in front of episode batching over a persistent heap.
+    Latency percentiles are virtual cycles (lower-is-better by the
+    metric-name convention), and the admission split is gated separately
+    from backend NULLs."""
+    from ..serve.bench import run_backend as serve_one_backend
+    from ..workloads.trace import load_bundled
+
+    trace = load_bundled(name)
+    metrics: Dict[str, float] = {}
+    for b in backends:
+        pt = serve_one_backend(trace, b, seed=seed, pool=pool,
+                               batch_max=batch_max, quota_bytes=quota_bytes)
+        slug = _slug(b)
+        metrics[f"ops_per_s_{slug}"] = pt.ops_per_s
+        metrics[f"latency_cycles_p50_{slug}"] = float(pt.latency_p50)
+        metrics[f"latency_cycles_p99_{slug}"] = float(pt.latency_p99)
+        metrics[f"failure_rate_{slug}"] = pt.failure_rate
+        metrics[f"admission_failure_rate_{slug}"] = pt.admission_failure_rate
+    params: Dict[str, object] = {
+        "trace": name, "events": len(trace.events),
+        "tenants": trace.tenants, "batch_max": batch_max,
+        "quota_bytes": quota_bytes, "pool": pool,
+        "backends": list(backends),
+    }
+    return metrics, params
+
+
 def _ablation_buddy(thread_counts: Sequence[int]) -> RunnerOutput:
     res = ablations.run_buddy_ablation(thread_counts=thread_counts)
     peak = thread_counts[-1]
@@ -415,6 +448,18 @@ _register(BenchCase(
 #: global-lock baselines it is usually compared with, and the Bell-style
 #: host-based design the backend registry added (see EXPERIMENTS.md)
 _HOSTBASED_ROSTER = ("ours", "cuda", "lock-buddy", "hostbased")
+
+_register(BenchCase(
+    name="serve_replay",
+    seed=41,
+    description="allocator-as-a-service: admission (quota+pressure) + "
+                "episode batching over the bundled trace",
+    quick=lambda: _serve_replay("mt_small", 41, quota_bytes=16 << 10,
+                                backends=("ours", "cuda")),
+    full=lambda: _serve_replay("serve_small", 41, batch_max=32,
+                               quota_bytes=16 << 10,
+                               backends=("ours", "cuda", "hostbased")),
+))
 
 _register(BenchCase(
     name="backends_hostbased",

@@ -222,6 +222,11 @@ QUICK_DECK: List[ResilSpec] = [
     # and lock-holder stalls alike
     _spec("multi_tenant", 1, "site=tbuddy.alloc,p=0.2,max=10"),
     _spec("multi_tenant", 2, "site=spinlock.hold,p=0.05,cycles=2000"),
+    # served session under faults: admission ledgers, episode batching
+    # and the skipped-free protocol must reconcile when NULLs are
+    # injected mid-episode (the refund path) and recovery must still
+    # end leak-free
+    _spec("serve_session", 1, "site=tbuddy.alloc,p=0.2,max=8"),
 ]
 
 #: nightly deck — quick plus higher rates, more seeds, more scenarios.
@@ -245,6 +250,8 @@ FULL_DECK: List[ResilSpec] = QUICK_DECK + [
     _spec("trace_replay", 1, "site=tbuddy.alloc,p=0.3,max=12"),
     _spec("multi_tenant", 1, "site=spinlock.hold,p=0.05,cycles=2000",
           backend="cuda"),
+    _spec("serve_session", 2, "site=spinlock.hold,p=0.05,cycles=2000"),
+    _spec("serve_session", 3, "site=tbuddy.split,p=0.4,max=6"),
 ]
 
 

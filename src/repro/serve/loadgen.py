@@ -1,0 +1,231 @@
+"""Open-loop load generator: one socket session per trace tenant.
+
+Replays a workload-zoo :class:`~repro.workloads.trace.Trace` against a
+live :class:`~.server.ServeServer` the way real clients would: each
+tenant gets its own TCP session and its own thread, requests are
+**pipelined** (mallocs are fired without waiting for replies — open
+loop), and a reply-reader thread per session matches replies to requests
+by correlation id.  The only waits are causal: a ``free`` must wait for
+its paired malloc's reply because the address is in that reply; a free
+whose malloc failed is skipped client-side and counted, mirroring the
+replayer's skipped-free protocol so the client ledger reconciles with
+both the server snapshot and a direct
+:func:`repro.workloads.replay.replay` of the same trace.
+
+``cycles_per_second`` optionally paces sends so inter-arrival gaps in
+virtual cycles become wall-clock gaps (an honest open-loop arrival
+process); by default the generator runs flat out.  Either way the
+*accounting* is deterministic — timing moves requests between episodes,
+never between outcome classes, for traces that fit admission.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..workloads.replay import TenantStats
+from ..workloads.trace import OP_MALLOC as EV_MALLOC
+from ..workloads.trace import Trace, validate
+from . import protocol
+from .protocol import OP_BYE, OP_FREE, OP_MALLOC, PROTOCOL
+
+#: per-reply wait bound; loopback replies land in microseconds, so a
+#: timeout means the server died — fail loudly, do not hang the suite
+REPLY_TIMEOUT = 30.0
+
+
+class _Future:
+    """One outstanding request's reply slot."""
+
+    __slots__ = ("event", "reply")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.reply: Optional[dict] = None
+
+    def resolve(self, reply: dict) -> None:
+        self.reply = reply
+        self.event.set()
+
+    def wait(self) -> dict:
+        if not self.event.wait(REPLY_TIMEOUT):
+            raise RuntimeError(
+                f"no reply within {REPLY_TIMEOUT}s — server hung or died")
+        assert self.reply is not None
+        return self.reply
+
+
+@dataclass
+class LoadReport:
+    """Client-side view of one load-generation run."""
+
+    #: client-side ledgers, same vocabulary as the replayer's
+    tenants: Dict[int, TenantStats] = field(default_factory=dict)
+    #: service-level failure counts by cause, from replies
+    causes: Dict[str, int] = field(default_factory=dict)
+    #: per-request virtual latencies reported in replies
+    latencies: List[int] = field(default_factory=list)
+    #: protocol-error replies received (any nonzero count is a bug)
+    protocol_errors: int = 0
+    wall_seconds: float = 0.0
+    sessions: int = 0
+
+    def totals(self) -> TenantStats:
+        out = TenantStats()
+        for st in self.tenants.values():
+            out.add(st)
+        return out
+
+
+class _TenantSession:
+    """One tenant's connection, reader thread and event stream."""
+
+    def __init__(self, host: str, port: int, tenant: int,
+                 events: List, report: LoadReport, lock: threading.Lock,
+                 cycles_per_second: Optional[float]):
+        self.tenant = tenant
+        self.events = events
+        self.report = report
+        self.lock = lock
+        self.cps = cycles_per_second
+        self.stats = TenantStats()
+        self.conn = socket.create_connection((host, port))
+        self._reader = self.conn.makefile("r", encoding="utf-8",
+                                          newline="\n")
+        self._futures: Dict[int, _Future] = {}
+        self._flock = threading.Lock()
+        self._next_req = 0
+        self.hello: Optional[dict] = None
+        self.error: Optional[BaseException] = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"loadgen-t{tenant}", daemon=True)
+
+    # -- wire helpers --------------------------------------------------
+    def _send(self, msg: dict) -> None:
+        self.conn.sendall(protocol.encode(msg))
+
+    def _issue(self, msg: dict) -> _Future:
+        fut = _Future()
+        with self._flock:
+            req = self._next_req
+            self._next_req += 1
+            self._futures[req] = fut
+        msg["req"] = req
+        self._send(msg)
+        return fut
+
+    def _reader_loop(self) -> None:
+        for line in self._reader:
+            line = line.strip()
+            if not line:
+                continue
+            reply = protocol.decode_line(line)
+            if reply.get("error") == "protocol":
+                with self.lock:
+                    self.report.protocol_errors += 1
+                continue
+            req = reply.get("req")
+            if req is None:
+                continue  # hello/bye are handled synchronously
+            with self._flock:
+                fut = self._futures.pop(req, None)
+            if fut is not None:
+                fut.resolve(reply)
+
+    # -- the tenant's request stream -----------------------------------
+    def _run(self) -> None:
+        try:
+            self._send({"op": "hello", "proto": PROTOCOL,
+                        "tenant": self.tenant})
+            self.hello = protocol.decode_line(self._reader.readline())
+            if not self.hello.get("ok"):
+                raise RuntimeError(f"hello rejected: {self.hello}")
+            reader = threading.Thread(target=self._reader_loop,
+                                      name=f"loadgen-t{self.tenant}-rd",
+                                      daemon=True)
+            reader.start()
+            self._replay_events()
+            self._send({"op": OP_BYE})
+            reader.join(timeout=REPLY_TIMEOUT)
+        except BaseException as e:  # surfaced by LoadGen.run
+            self.error = e
+        finally:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+    def _replay_events(self) -> None:
+        st = self.stats
+        malloc_futs: Dict[int, _Future] = {}  # trace event id -> future
+        pending: List = []                    # (op, size, future)
+        last_time: Optional[int] = None
+        for e in self.events:
+            if self.cps and last_time is not None and e.time > last_time:
+                _time.sleep((e.time - last_time) / self.cps)
+            last_time = e.time
+            if e.op == EV_MALLOC:
+                st.n_malloc += 1
+                st.bytes_requested += e.size
+                fut = self._issue({"op": OP_MALLOC, "size": e.size})
+                malloc_futs[e.id] = fut
+                pending.append((OP_MALLOC, e.size, fut))
+            else:
+                # causal wait: the free needs its malloc's address
+                reply = malloc_futs.pop(e.id).wait()
+                if not reply.get("ok"):
+                    st.n_free_skipped += 1
+                    continue
+                fut = self._issue({"op": OP_FREE, "addr": reply["addr"]})
+                pending.append((OP_FREE, 0, fut))
+        # drain every outstanding reply, then account by request kind
+        for op, size, fut in pending:
+            reply = fut.wait()
+            if reply.get("ok"):
+                if op == OP_MALLOC:
+                    st.bytes_served += size
+                else:
+                    st.n_free += 1
+                if reply.get("latency") is not None:
+                    with self.lock:
+                        self.report.latencies.append(reply["latency"])
+            else:
+                if op == OP_MALLOC:
+                    st.n_malloc_failed += 1
+                cause = reply.get("cause", "unknown")
+                with self.lock:
+                    self.report.causes[cause] = (
+                        self.report.causes.get(cause, 0) + 1)
+
+
+def run(trace: Trace, host: str, port: int, *,
+        cycles_per_second: Optional[float] = None) -> LoadReport:
+    """Replay ``trace`` against a live server; one session per tenant."""
+    validate(trace)
+    per_tenant: Dict[int, List] = {}
+    for e in trace.events:
+        per_tenant.setdefault(e.tenant, []).append(e)
+    report = LoadReport(sessions=len(per_tenant))
+    lock = threading.Lock()
+    sessions = [
+        _TenantSession(host, port, t, evs, report, lock, cycles_per_second)
+        for t, evs in sorted(per_tenant.items())
+    ]
+    t0 = _time.monotonic()
+    for s in sessions:
+        s.thread.start()
+    for s in sessions:
+        s.thread.join(timeout=REPLY_TIMEOUT * 4)
+        if s.thread.is_alive():
+            raise RuntimeError(f"tenant {s.tenant} session hung")
+        if s.error is not None:
+            raise RuntimeError(
+                f"tenant {s.tenant} session failed: {s.error}") from s.error
+    report.wall_seconds = _time.monotonic() - t0
+    for s in sessions:
+        report.tenants[s.tenant] = s.stats
+    return report

@@ -61,7 +61,7 @@ WARP_CONV_WINDOW = 96
 class _Thread:
     __slots__ = (
         "tid", "gen", "send", "ctx", "state", "clock", "pending", "inbox",
-        "block", "warp", "retval", "park_time",
+        "block", "warp", "retval", "park_time", "finish_time",
     )
 
     def __init__(self, tid: int, gen, ctx: ThreadCtx, block: "_Block", warp: "_Warp"):
@@ -79,6 +79,7 @@ class _Thread:
         self.warp = warp
         self.retval = None
         self.park_time = 0
+        self.finish_time = -1  # virtual completion time; -1 while live
 
 
 class _Block:
@@ -160,9 +161,26 @@ class LaunchHandle:
         return len(self._tids)
 
     @property
+    def tids(self) -> List[int]:
+        """Scheduler-global thread ids of this launch, in lane order.
+
+        Thread ids are global and monotonic across launches on a reused
+        scheduler, so kernels that index per-launch state by lane must
+        subtract ``tids[0]`` from ``ctx.tid`` rather than use it raw.
+        """
+        return list(self._tids)
+
+    @property
     def results(self) -> List[Any]:
         """Per-thread kernel return values (valid after ``run()``)."""
         return [self._scheduler._threads[t].retval for t in self._tids]
+
+    @property
+    def finish_times(self) -> List[int]:
+        """Per-thread virtual completion times (valid after ``run()``;
+        ``-1`` for threads still live).  Service-style harnesses derive
+        per-request latency from these: ``finish - launch_now``."""
+        return [self._scheduler._threads[t].finish_time for t in self._tids]
 
 
 class Scheduler:
@@ -736,6 +754,7 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _finish_thread(self, th: _Thread, t: int) -> None:
         th.state = _ST_DONE
+        th.finish_time = t
         self._live_threads -= 1
         blk = th.block
         blk.n_live -= 1

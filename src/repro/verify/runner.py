@@ -338,6 +338,32 @@ def _trace_replay(h: _Harness, lanes: int = 1) -> None:
     _replay_trace_scenario(h, load_bundled("mt_small"), lanes)
 
 
+def _serve_session(h: _Harness, events: int = 120, tenants: int = 3,
+                   batch_max: int = 16) -> None:
+    """Served session: the allocator-as-a-service engine drives the
+    backend over the harness scheduler — admission control, episode
+    batching and the skipped-free protocol all under schedule fuzzing,
+    ending with the same exact-accounting and leak-free contract as the
+    replay scenarios (AllocStats cross-check deliberately omitted:
+    admission rejects never reach the allocator)."""
+    from ..serve.bench import feed_trace
+    from ..serve.engine import ServeEngine
+    from ..workloads import families as workload_families
+
+    trace = workload_families.generate(
+        "multi_tenant_zipf", h.sched.seed,
+        events=events, tenants=tenants, mean_gap=60,
+    )
+    engine = ServeEngine(sched=h.sched, handle=h.handle)
+    feed_trace(engine, trace, batch_max=batch_max)
+    _check_replay_accounting(trace, engine.stats, engine.totals())
+    assert engine.live_allocations == 0, (
+        f"balanced trace left {engine.live_allocations} served "
+        "allocation(s) live"
+    )
+    h.checkpoint(expect_leak_free=True)
+
+
 #: scenario name -> (builder kwargs for _Harness, scenario function)
 SCENARIOS: Dict[str, tuple] = {
     "storm": ({"pool_order": 9}, _storm),
@@ -346,6 +372,7 @@ SCENARIOS: Dict[str, tuple] = {
     "storm_oom": ({"pool_order": 7}, _storm_oom),
     "multi_tenant": ({"pool_order": 8}, _multi_tenant),
     "trace_replay": ({"pool_order": 8}, _trace_replay),
+    "serve_session": ({"pool_order": 8}, _serve_session),
 }
 
 

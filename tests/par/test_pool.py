@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.par.pool import map_sharded, preferred_start_method, resolve_workers
 
 
 def _square(x: int) -> int:
+    return x * x
+
+
+def _sleepy_square(x: int) -> int:
+    time.sleep(0.4)
     return x * x
 
 
@@ -80,3 +87,27 @@ class TestMapSharded:
 
     def test_preferred_start_method_is_known(self):
         assert preferred_start_method() in ("fork", "spawn")
+
+
+class TestHeartbeat:
+    def test_slow_shards_emit_liveness_lines(self):
+        # With a heartbeat shorter than the shard runtime, at least one
+        # "still running" line must appear, naming an in-flight shard —
+        # long decks must never be indistinguishable from a hang.
+        lines: list = []
+        out = map_sharded(_sleepy_square, [2, 3], workers=2,
+                          log=lines.append, heartbeat_s=0.1)
+        assert out == [4, 9]
+        beats = [ln for ln in lines if "still running" in ln]
+        assert beats, f"no heartbeat line in {lines!r}"
+        assert any("2" in b or "3" in b for b in beats)
+        # completion lines still arrive, one per shard, after the beats
+        assert sum("/2]" in ln and "still running" not in ln
+                   for ln in lines) == 2
+
+    def test_heartbeat_counter_reflects_completions(self):
+        lines: list = []
+        map_sharded(_sleepy_square, [1], workers=1,
+                    log=lines.append, heartbeat_s=0.05)
+        # inline path (single item): no heartbeats, just the progress line
+        assert lines == ["  [1/1] 1"]

@@ -1,10 +1,12 @@
 """Trajectory parity: adjacent BENCH artifacts must agree exactly.
 
 PR6 rewired every bench through :mod:`repro.backends`; PR7 added the
-workload-zoo cases.  Neither change touches how the pre-existing cases
-execute, so every case two adjacent artifacts share must agree on every
-``virtual:*`` metric *exactly* — not within tolerance.  Wall-clock
-metrics are machine-dependent and exempt.
+workload-zoo cases; PR8 added the allocator-service case (and a
+cold-path scheduler extension — per-thread finish times — that must not
+move a single pre-existing number).  None of these change how the
+pre-existing cases execute, so every case two adjacent artifacts share
+must agree on every ``virtual:*`` metric *exactly* — not within
+tolerance.  Wall-clock metrics are machine-dependent and exempt.
 """
 
 from __future__ import annotations
@@ -18,9 +20,10 @@ ROOT = Path(__file__).resolve().parents[2]
 PR5 = ROOT / "BENCH_PR5.json"
 PR6 = ROOT / "BENCH_PR6.json"
 PR7 = ROOT / "BENCH_PR7.json"
+PR8 = ROOT / "BENCH_PR8.json"
 
 #: adjacent (baseline, current) artifact pairs along the trajectory
-PAIRS = [(PR5, PR6), (PR6, PR7)]
+PAIRS = [(PR5, PR6), (PR6, PR7), (PR7, PR8)]
 
 
 def _virtual_metrics(path: Path):
@@ -76,3 +79,18 @@ def test_pr7_adds_the_workload_cases():
     mt = cur["workload_multitenant"]
     # Zipfian rate skew shows up as measurably uneven service
     assert mt["virtual:fairness_ours"] < 0.999
+
+
+@pytest.mark.skipif(not PR8.exists(),
+                    reason="committed BENCH_PR8.json not present")
+def test_pr8_adds_the_serve_case():
+    cur = _virtual_metrics(PR8)
+    assert "serve_replay" in cur, "PR8 artifact is missing 'serve_replay'"
+    m = cur["serve_replay"]
+    # both backends served the trace and reported latency percentiles
+    for slug in ("ours", "cuda"):
+        assert m[f"virtual:latency_cycles_p99_{slug}"] >= \
+            m[f"virtual:latency_cycles_p50_{slug}"] > 0
+    # the 16 KiB quota + pressure gate deterministically rejects some of
+    # the paper backend's mallocs on the bundled trace
+    assert m["virtual:admission_failure_rate_ours"] > 0

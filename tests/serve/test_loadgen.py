@@ -1,0 +1,100 @@
+"""The replay load generator, reconciled against ground truth.
+
+The acceptance bar: loadgen replaying the bundled ``mt_small`` trace
+over a real socket produces per-tenant ledgers identical to a direct
+(in-process, closed-loop) :func:`repro.workloads.replay.replay` of the
+same trace — the open system and the closed system must tell the same
+accounting story.
+"""
+
+from __future__ import annotations
+
+from repro.serve import loadgen
+from repro.serve.engine import ServeEngine
+from repro.serve.server import ServeServer
+from repro.workloads.replay import replay
+from repro.workloads.trace import load_bundled
+
+POOL = 4 << 20  # ample: zero failures make ledger equality exact
+LEDGER_FIELDS = ("n_malloc", "n_malloc_failed", "n_free", "n_free_skipped",
+                 "bytes_requested", "bytes_served")
+
+
+def _serve(trace, **engine_kw):
+    engine_kw.setdefault("backend", "ours")
+    engine_kw.setdefault("pool", POOL)
+    engine_kw.setdefault("seed", 0)
+    srv = ServeServer(ServeEngine(**engine_kw), batch_window=0.002,
+                      batch_max=32)
+    with srv as (host, port):
+        report = loadgen.run(trace, host, port)
+    return srv, report
+
+
+class TestReplayReconciliation:
+    def test_mt_small_ledgers_match_direct_replay(self):
+        trace = load_bundled("mt_small")
+        srv, report = _serve(trace)
+        assert report.protocol_errors == 0
+        assert report.sessions == trace.tenants
+        direct = replay(trace, backend="ours", seed=0, pool=POOL)
+        assert set(report.tenants) == set(direct.tenants)
+        for t, st in report.tenants.items():
+            ref = direct.tenants[t]
+            for f in LEDGER_FIELDS:
+                assert getattr(st, f) == getattr(ref, f), (t, f)
+
+    def test_client_ledger_matches_server_ledger(self):
+        trace = load_bundled("mt_small")
+        srv, report = _serve(trace)
+        server_stats = srv.engine.stats
+        assert set(report.tenants) == set(server_stats)
+        for t, st in report.tenants.items():
+            ref = server_stats[t]
+            # the server never sees client-side skipped frees, so the
+            # causal sum is the comparable quantity
+            assert st.n_free + st.n_free_skipped == \
+                ref.n_free + ref.n_free_skipped
+            for f in ("n_malloc", "n_malloc_failed", "bytes_requested",
+                      "bytes_served"):
+                assert getattr(st, f) == getattr(ref, f), (t, f)
+
+    def test_latencies_are_reported_per_request(self):
+        trace = load_bundled("mt_small")
+        _, report = _serve(trace)
+        t = report.totals()
+        # one latency per completed request (failed ones carry none)
+        assert len(report.latencies) == t.n_malloc - t.n_malloc_failed \
+            + t.n_free
+        assert all(lat > 0 for lat in report.latencies)
+        assert report.wall_seconds > 0
+
+
+class TestQuotaUnderLoad:
+    def test_tight_quota_rejections_reach_the_client(self):
+        trace = load_bundled("mt_small")
+        srv, report = _serve(trace, quota_bytes=2 << 10)
+        assert report.protocol_errors == 0
+        assert report.causes.get("quota", 0) > 0
+        # client and server agree on the rejection count exactly
+        assert report.totals().n_malloc_failed == \
+            srv.engine.totals().n_malloc_failed
+        # skipped frees mirror failed mallocs for a balanced trace
+        assert report.totals().n_free_skipped == \
+            report.totals().n_malloc_failed
+
+
+class TestPacing:
+    def test_paced_run_accounts_identically(self):
+        trace = load_bundled("serve_small")
+        _, flat = _serve(trace)
+        srv = ServeServer(ServeEngine(backend="ours", pool=POOL, seed=0),
+                          batch_window=0.002, batch_max=32)
+        with srv as (host, port):
+            paced = loadgen.run(trace, host, port,
+                                cycles_per_second=10_000_000)
+        assert paced.protocol_errors == 0
+        for t, st in flat.tenants.items():
+            ref = paced.tenants[t]
+            for f in LEDGER_FIELDS:
+                assert getattr(st, f) == getattr(ref, f), (t, f)

@@ -1,0 +1,193 @@
+"""The socket front end, end to end over real TCP on loopback.
+
+The acceptance bar: at least eight concurrent tenant clients against one
+live server, zero protocol errors, every reply well-formed and causally
+consistent; plus the failure channels — an over-quota tenant is rejected
+deterministically, and malformed frames land on the protocol-error
+channel without disturbing well-formed sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.serve import protocol
+from repro.serve.engine import ServeEngine
+from repro.serve.server import ServeServer
+
+
+class _Client:
+    """A tiny synchronous test client (one request in flight at a time)."""
+
+    def __init__(self, host, port, tenant):
+        self.conn = socket.create_connection((host, port))
+        self.reader = self.conn.makefile("r", encoding="utf-8", newline="\n")
+        self._req = 0
+        self.hello = self._rpc({"op": "hello", "proto": protocol.PROTOCOL,
+                                "tenant": tenant})
+
+    def _rpc(self, msg):
+        self.conn.sendall(protocol.encode(msg))
+        return json.loads(self.reader.readline())
+
+    def request(self, op, **fields):
+        msg = {"op": op, "req": self._req, **fields}
+        self._req += 1
+        return self._rpc(msg)
+
+    def raw(self, line: str):
+        self.conn.sendall(line.encode() + b"\n")
+        return json.loads(self.reader.readline())
+
+    def close(self):
+        try:
+            self._rpc({"op": "bye"})
+        finally:
+            self.conn.close()
+
+
+def _server(**engine_kw):
+    engine_kw.setdefault("backend", "ours")
+    engine_kw.setdefault("pool", 4 << 20)
+    engine_kw.setdefault("seed", 0)
+    return ServeServer(ServeEngine(**engine_kw), batch_window=0.002,
+                       batch_max=32)
+
+
+class TestSingleSession:
+    def test_hello_reports_backend_and_quota(self):
+        srv = _server(quota_bytes=1 << 16)
+        with srv as (host, port):
+            c = _Client(host, port, tenant=0)
+            assert c.hello["ok"] and c.hello["proto"] == protocol.PROTOCOL
+            assert c.hello["backend"].startswith("ours")
+            assert c.hello["quota"] == 1 << 16
+            c.close()
+        assert srv.protocol_errors == 0
+
+    def test_malloc_free_roundtrip(self):
+        srv = _server()
+        with srv as (host, port):
+            c = _Client(host, port, tenant=1)
+            m = c.request("malloc", size=256)
+            assert m["ok"] and m["addr"] > 0 and m["latency"] > 0
+            f = c.request("free", addr=m["addr"])
+            assert f["ok"] and "addr" not in f
+            c.close()
+        assert srv.engine.live_allocations == 0
+        assert srv.protocol_errors == 0
+
+    def test_stats_reflect_own_requests(self):
+        srv = _server()
+        with srv as (host, port):
+            c = _Client(host, port, tenant=2)
+            c.request("malloc", size=64)
+            s = c.request("stats")
+            assert s["ok"] and s["op"] == "stats"
+            assert s["tenants"]["2"]["n_malloc"] == 1
+            assert s["live_allocations"] == 1
+            c.close()
+
+    def test_over_quota_tenant_deterministically_rejected(self):
+        # Same request stream, two fresh servers: identical rejections.
+        for _ in range(2):
+            srv = _server(quota_bytes=512)
+            with srv as (host, port):
+                c = _Client(host, port, tenant=0)
+                first = c.request("malloc", size=400)
+                second = c.request("malloc", size=400)
+                assert first["ok"]
+                assert not second["ok"] and second["cause"] == "quota"
+                # freeing makes room again — the ledger is live state
+                c.request("free", addr=first["addr"])
+                third = c.request("malloc", size=400)
+                assert third["ok"]
+                c.close()
+            assert srv.protocol_errors == 0
+
+
+class TestProtocolErrorChannel:
+    def test_malformed_json_is_counted_and_answered(self):
+        srv = _server()
+        with srv as (host, port):
+            c = _Client(host, port, tenant=0)
+            r = c.raw("{not json")
+            assert r["error"] == "protocol" and not r["ok"]
+            # the session survives: well-formed traffic still works
+            m = c.request("malloc", size=64)
+            assert m["ok"]
+            c.close()
+        assert srv.protocol_errors == 1
+
+    def test_request_before_hello_rejected(self):
+        srv = _server()
+        with srv as (host, port):
+            conn = socket.create_connection((host, port))
+            reader = conn.makefile("r", encoding="utf-8", newline="\n")
+            conn.sendall(protocol.encode({"op": "malloc", "req": 0,
+                                          "size": 64}))
+            r = json.loads(reader.readline())
+            assert r["error"] == "protocol"
+            conn.close()
+        assert srv.protocol_errors == 1
+
+    def test_unknown_op_rejected_in_session(self):
+        srv = _server()
+        with srv as (host, port):
+            c = _Client(host, port, tenant=0)
+            r = c.request("realloc")
+            assert r["error"] == "protocol" and "unknown op" in r["detail"]
+            c.close()
+        assert srv.protocol_errors == 1
+
+
+class TestConcurrentTenants:
+    N_TENANTS = 9  # the acceptance bar is >= 8
+    OPS_EACH = 12
+
+    def test_many_concurrent_sessions_zero_protocol_errors(self):
+        srv = _server()
+        errors = []
+
+        def tenant_session(host, port, tenant):
+            try:
+                c = _Client(host, port, tenant)
+                assert c.hello["ok"]
+                addrs = []
+                for i in range(self.OPS_EACH):
+                    m = c.request("malloc", size=64 + 32 * tenant)
+                    assert m["ok"], m
+                    addrs.append(m["addr"])
+                for a in addrs:
+                    f = c.request("free", addr=a)
+                    assert f["ok"], f
+                c.close()
+            except BaseException as e:  # surfaced after the join
+                errors.append((tenant, e))
+
+        with srv as (host, port):
+            threads = [
+                threading.Thread(target=tenant_session,
+                                 args=(host, port, t), daemon=True)
+                for t in range(self.N_TENANTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+                assert not t.is_alive(), "a tenant session hung"
+        assert errors == []
+        assert srv.protocol_errors == 0
+        totals = srv.engine.totals()
+        assert totals.n_malloc == self.N_TENANTS * self.OPS_EACH
+        assert totals.n_malloc_failed == 0
+        assert totals.n_free == self.N_TENANTS * self.OPS_EACH
+        assert srv.engine.live_allocations == 0
+        # every tenant got its own ledger, and they never bled together
+        assert len(srv.engine.stats) == self.N_TENANTS
+        for t in range(self.N_TENANTS):
+            st = srv.engine.stats[t]
+            assert st.bytes_requested == self.OPS_EACH * (64 + 32 * t)
+            assert st.bytes_served == st.bytes_requested

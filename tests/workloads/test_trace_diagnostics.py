@@ -1,0 +1,127 @@
+"""Malformed trace input must fail with located, actionable diagnostics.
+
+Traces are hand-editable JSONL; when one is broken, the error message is
+the debugging interface.  Every parse failure must carry the ``where``
+context (file/source label, line number where applicable) and say what
+was expected — these tests pin the exact diagnostics so they cannot
+silently regress into bare ``KeyError``\\ s.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.workloads.trace import SCHEMA, TraceError, load, loads
+
+
+def _header(**over):
+    h = {"schema": SCHEMA, "family": "f", "seed": 0, "tenants": 2,
+         "params": {}}
+    h.update(over)
+    return json.dumps(h)
+
+
+def _doc(*event_lines, header=None):
+    return "\n".join([header or _header(), *event_lines]) + "\n"
+
+
+class TestHeaderDiagnostics:
+    def test_empty_input(self):
+        with pytest.raises(TraceError, match=r"<string>: empty trace file"):
+            loads("")
+
+    def test_header_not_json(self):
+        with pytest.raises(TraceError,
+                           match=r"<string>: header is not valid JSON"):
+            loads("{oops\n")
+
+    def test_header_not_an_object(self):
+        with pytest.raises(TraceError, match=r"header line is not a JSON"):
+            loads("[1, 2]\n")
+
+    def test_wrong_schema_version_names_both_schemas(self):
+        doc = _doc(header=_header(schema="repro.workloads/99"))
+        with pytest.raises(
+                TraceError,
+                match=r"unsupported trace schema 'repro\.workloads/99', "
+                      + re.escape(f"expected '{SCHEMA}'")):
+            loads(doc)
+
+    def test_missing_header_key_is_named(self):
+        h = {"schema": SCHEMA, "family": "f", "seed": 0}  # no tenants
+        with pytest.raises(TraceError, match=r"header missing key 'tenants'"):
+            loads(json.dumps(h) + "\n")
+
+
+class TestEventDiagnostics:
+    def test_bad_json_event_carries_line_number(self):
+        doc = _doc('{"op": "malloc", "id": 0, "tenant": 0, "time": 0, '
+                   '"size": 8}',
+                   "{broken json")
+        with pytest.raises(TraceError,
+                           match=r"<string>:3: event is not valid JSON"):
+            loads(doc)
+
+    def test_non_object_event_carries_line_number(self):
+        with pytest.raises(TraceError,
+                           match=r"<string>:2: event is not a JSON object"):
+            loads(_doc("[1]"))
+
+    def test_missing_field_reports_the_offending_line(self):
+        doc = _doc('{"op": "malloc", "tenant": 0, "time": 0, "size": 8}')
+        with pytest.raises(TraceError,
+                           match=r"<string>:2: malformed event .*'id'"):
+            loads(doc)
+
+    def test_out_of_order_arrivals_name_event_and_times(self):
+        doc = _doc(
+            '{"op": "malloc", "id": 0, "tenant": 0, "time": 9, "size": 8}',
+            '{"op": "malloc", "id": 1, "tenant": 0, "time": 3, "size": 8}',
+        )
+        with pytest.raises(
+                TraceError,
+                match=r"event 1 \(time 3\): arrival times must be "
+                      r"non-decreasing integers \(previous was 9\)"):
+            loads(doc)
+
+    def test_double_free_located(self):
+        doc = _doc(
+            '{"op": "malloc", "id": 0, "tenant": 0, "time": 0, "size": 8}',
+            '{"op": "free", "id": 0, "tenant": 0, "time": 1}',
+            '{"op": "free", "id": 0, "tenant": 0, "time": 2}',
+        )
+        with pytest.raises(TraceError,
+                           match=r"event 2 \(time 2\): double free 0"):
+            loads(doc)
+
+    def test_foreign_free_names_both_tenants(self):
+        doc = _doc(
+            '{"op": "malloc", "id": 0, "tenant": 0, "time": 0, "size": 8}',
+            '{"op": "free", "id": 0, "tenant": 1, "time": 1}',
+        )
+        with pytest.raises(
+                TraceError,
+                match=r"free of id 0 by tenant 1, but tenant 0 allocated"):
+            loads(doc)
+
+
+class TestWherePropagation:
+    def test_loads_uses_the_caller_supplied_label(self):
+        with pytest.raises(TraceError, match=r"^stdin: empty trace file"):
+            loads("", where="stdin")
+
+    def test_load_uses_the_file_path(self, tmp_path):
+        p = tmp_path / "broken.jsonl"
+        p.write_text(_doc("{nope"))
+        with pytest.raises(TraceError,
+                           match=rf"{p}:2: event is not valid JSON"):
+            load(p)
+
+    def test_load_reports_unreadable_path(self, tmp_path):
+        missing = tmp_path / "absent.jsonl"
+        with pytest.raises(TraceError,
+                           match=r"cannot read trace .*absent\.jsonl"):
+            load(missing)
