@@ -17,6 +17,9 @@ Usage::
 
     python -m repro verify        # concurrency verification: schedule
         # fuzzing + race detection + replay (see `verify --help`).
+    python -m repro verify explore # coverage-guided schedule exploration:
+        # digest-steered case budget, coverage = distinct schedules
+        # visited (see `verify explore --help`).
 
     python -m repro perf run      # benchmark suite -> BENCH_*.json artifact
     python -m repro perf compare  # regression gate over the trajectory

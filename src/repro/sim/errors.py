@@ -41,5 +41,16 @@ class DeadlockError(SimError):
     event budget was exhausted without progress."""
 
 
+class EventBudgetExceeded(DeadlockError):
+    """``run(max_events=N)`` tripped its event budget.
+
+    Distinct from a structural deadlock (queue drained with parked
+    threads): threads were still making events when the guard fired, so
+    the run is a *livelock/budget* artifact.  Harnesses that sweep many
+    schedules (``repro.verify``) classify this outcome separately from
+    genuine protocol failures — a too-small budget must not read as a
+    protocol violation."""
+
+
 class LaunchError(SimError):
     """A kernel launch was malformed (bad grid/block dimensions, etc.)."""

@@ -36,7 +36,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 from . import ops as _ops
 from .cost_model import DEFAULT_COST_MODEL, CostModel
 from .device import DEFAULT_DEVICE, GPUDevice, ThreadCtx
-from .errors import DeadlockError, InvalidOp, LaunchError
+from .errors import DeadlockError, EventBudgetExceeded, InvalidOp, LaunchError
 from .memory import DeviceMemory
 from .trace import Tracer
 
@@ -56,6 +56,18 @@ _NO_BUDGET = 1 << 62
 #: within this window of the first requester converge together even if
 #: other lanes of the warp are still running.
 WARP_CONV_WINDOW = 96
+
+#: Default event interval between ``schedule_probe`` firings.
+PROBE_EVERY = 512
+
+#: Cycle window of the deterministic per-thread ``steer`` dispatch
+#: offset (prime, so thread phases do not alias the warp stagger).
+STEER_WINDOW = 61
+
+# FNV-1a constants for the schedule digest
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
 
 
 class _Thread:
@@ -210,6 +222,9 @@ class Scheduler:
         tracer: Optional[Tracer] = None,
         dispatch_jitter: int = 0,
         fault_injector: object = None,
+        steer: int = 0,
+        schedule_probe: Optional[Callable[[tuple], None]] = None,
+        probe_every: int = PROBE_EVERY,
     ) -> None:
         self.memory = memory
         self.device = device
@@ -219,6 +234,20 @@ class Scheduler:
         # (repro.verify) sweeps this to perturb which interleavings a
         # given seed explores; 0 keeps the historical dispatch pattern.
         self.dispatch_jitter = dispatch_jitter
+        # Steering salt: a deterministic per-(steer, tid) dispatch-phase
+        # offset in [0, STEER_WINDOW).  Unlike ``dispatch_jitter`` it
+        # consumes no RNG draws, so two runs differing only in ``steer``
+        # execute identical per-thread instruction streams under shifted
+        # start phases — the schedule-exploration engine's cheapest
+        # independent scheduling axis.  0 (the default) is a no-op and
+        # preserves every historical schedule byte-for-byte.
+        self.steer = steer
+        # Schedule observation hook: when set, ``probe(state_digest())``
+        # fires every ``probe_every`` events on *both* run loops.  The
+        # probe only observes — it must not touch scheduler or memory
+        # state — so attaching one never changes virtual metrics.
+        self.schedule_probe = schedule_probe
+        self.probe_every = probe_every
         self._rng = random.Random(seed)
         self._threads: List[_Thread] = []
         self._blocks: List[_Block] = []
@@ -357,6 +386,7 @@ class Scheduler:
         if self.tracer is not None:
             self.tracer.block_dispatched(blk, start, self._sm_resident[blk.sm])
         extra = self.dispatch_jitter
+        steer = self.steer
         for tid in blk.tids:
             th = self._threads[tid]
             # Stagger warps slightly so launches do not start in perfect
@@ -364,6 +394,11 @@ class Scheduler:
             jitter = (th.ctx.tid_in_block // warp_size) * 2 + self._rng.randrange(4)
             if extra:
                 jitter += self._rng.randrange(extra)
+            if steer:
+                # Arithmetic (not RNG) so the draw streams above stay
+                # untouched: mix (steer, tid) and fold into the window.
+                x = ((tid + 1) * 0x9E3779B97F4A7C15) ^ (steer * 0xC2B2AE3D27D4EB4F)
+                jitter += ((x ^ (x >> 29)) & _MASK64) % STEER_WINDOW
             th.clock = start + jitter
             self._push(th.clock, tid)
 
@@ -434,6 +469,8 @@ class Scheduler:
         _pop = heappop
         _pushpop = heappushpop
         budget = max_events if max_events is not None else _NO_BUDGET
+        probe = self.schedule_probe
+        probe_every = self.probe_every
 
         OP_SLEEP = _ops.OP_SLEEP
         OP_LOAD = _ops.OP_LOAD
@@ -444,6 +481,7 @@ class Scheduler:
         events = self._events
         seq = self._seq
         now = self._now
+        next_probe = events + probe_every if probe is not None else _NO_BUDGET
         deferred = None  # single pending push, resolved by heappushpop
         try:
             while True:
@@ -459,10 +497,16 @@ class Scheduler:
                 now = t
                 events += 1
                 if events > budget:
-                    raise DeadlockError(
+                    raise EventBudgetExceeded(
                         f"exceeded event budget {max_events} "
                         f"({self._live_threads} threads still live)"
                     )
+                if events >= next_probe:
+                    next_probe = events + probe_every
+                    # Observation only: sync virtual time for the digest;
+                    # the probe may not mutate scheduler or memory state.
+                    self._now = now
+                    probe(self.state_digest())
                 if tid == _TIMER:
                     self._seq, self._now = seq, now
                     entry[3](t)
@@ -588,6 +632,8 @@ class Scheduler:
         atomic_exec = self._atomic_exec
         park_get = self._park_dispatch.get
         budget = max_events if max_events is not None else _NO_BUDGET
+        probe = self.schedule_probe
+        probe_every = self.probe_every
 
         OP_SLEEP = _ops.OP_SLEEP
         OP_LOAD = _ops.OP_LOAD
@@ -596,6 +642,7 @@ class Scheduler:
         OP_YIELD = _ops.OP_YIELD
 
         events = self._events
+        next_probe = events + probe_every if probe is not None else _NO_BUDGET
         while heap:
             entry = heappop(heap)
             t = entry[0]
@@ -604,10 +651,13 @@ class Scheduler:
             events += 1
             if events > budget:
                 self._events = events
-                raise DeadlockError(
+                raise EventBudgetExceeded(
                     f"exceeded event budget {max_events} "
                     f"({self._live_threads} threads still live)"
                 )
+            if events >= next_probe:
+                next_probe = events + probe_every
+                probe(self.state_digest())
             if tid == _TIMER:
                 entry[3](t)
                 continue
@@ -923,6 +973,66 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def state_digest(self) -> tuple:
+        """Cheap deterministic digest of the instantaneous scheduler
+        state: ``(digest, contended)``.
+
+        ``digest`` is a 64-bit FNV-style fold over the *abstract*
+        schedule state — live-thread count, the pending-event multiset
+        as ``(time - now, tid)`` pairs, the parked-thread set (barrier /
+        convergence waiters), and the contended sync words (words whose
+        atomic-service slot lies in the future) together with their
+        current memory values.  ``contended`` is the number of such
+        words — a same-word convoy-depth proxy the exploration engine
+        uses as its "interesting state" signal (bulk-semaphore renege
+        storms, TBuddy lock convoys and RCU grace windows all manifest
+        as hot contended words).
+
+        Multiset folds are commutative sums, *not* ordered folds: the
+        fast loop's deferred ``heappushpop`` and the traced loop's
+        push-then-pop leave the same entries in different internal heap
+        order, and the digest must be identical on both paths (the
+        virtual-parity contract).  Everything folded is an int, so the
+        digest is stable across processes and platforms — no reliance
+        on ``hash()``.
+        """
+        now = self._now
+        h = _FNV_OFFSET
+        h = ((h ^ (self._live_threads & _MASK64)) * _FNV_PRIME) & _MASK64
+        # pending-event multiset (commutative sum over entries)
+        acc = 0
+        for entry in self._heap:
+            e = _FNV_OFFSET
+            e = ((e ^ ((entry[0] - now) & _MASK64)) * _FNV_PRIME) & _MASK64
+            e = ((e ^ (entry[2] & _MASK64)) * _FNV_PRIME) & _MASK64
+            acc = (acc + e) & _MASK64
+        h = ((h ^ acc) * _FNV_PRIME) & _MASK64
+        # parked threads (barrier / convergence waiters)
+        acc = 0
+        for th in self._threads:
+            st = th.state
+            if st == _ST_BARRIER or st == _ST_CONV:
+                e = _FNV_OFFSET
+                e = ((e ^ th.tid) * _FNV_PRIME) & _MASK64
+                e = ((e ^ st) * _FNV_PRIME) & _MASK64
+                acc = (acc + e) & _MASK64
+        h = ((h ^ acc) * _FNV_PRIME) & _MASK64
+        # contended sync words + their values
+        load_word = self.memory.load_word
+        acc = 0
+        contended = 0
+        for waddr, avail in self._word_avail.items():
+            if avail > now:
+                contended += 1
+                e = _FNV_OFFSET
+                e = ((e ^ waddr) * _FNV_PRIME) & _MASK64
+                e = ((e ^ ((avail - now) & _MASK64)) * _FNV_PRIME) & _MASK64
+                e = ((e ^ (load_word(waddr << 3) & _MASK64)) * _FNV_PRIME) & _MASK64
+                acc = (acc + e) & _MASK64
+        h = ((h ^ acc) * _FNV_PRIME) & _MASK64
+        h = ((h ^ contended) * _FNV_PRIME) & _MASK64
+        return (h, contended)
+
     @property
     def now(self) -> int:
         """Current virtual time (cycles)."""

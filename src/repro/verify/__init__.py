@@ -18,10 +18,23 @@ determinism into a verification workflow:
   reports a ``scenario:seed:perturbation`` triple replayable with
   ``python -m repro verify --replay``, and the perturbation set can be
   bisected to a minimal reproducer.
+* **Coverage-guided exploration** (:mod:`.explore`): scheduler
+  state-digest feedback steers the case budget toward unvisited
+  interleavings instead of a fixed grid; coverage is reported as
+  distinct schedules visited, and every explored case is an ordinary
+  replay triple (the steering decision rides in the ``steer`` knob).
 
-Entry point: ``python -m repro verify`` (see ``--help``).
+Entry points: ``python -m repro verify`` and
+``python -m repro verify explore`` (see ``--help``).
 """
 
+from .explore import (
+    ExploreReport,
+    Explorer,
+    ScheduleCoverage,
+    deck_coverage,
+    explore,
+)
 from .perturbation import DEFAULT_DECK, SMOKE_DECK, Perturbation
 from .race import RaceChecker, RaceFinding
 from .runner import CaseResult, CaseSpec, SCENARIOS, run_case, sweep
@@ -39,4 +52,9 @@ __all__ = [
     "run_case",
     "sweep",
     "shrink_case",
+    "Explorer",
+    "ExploreReport",
+    "ScheduleCoverage",
+    "explore",
+    "deck_coverage",
 ]

@@ -9,12 +9,20 @@ Usage::
     python -m repro verify --workers 4        # shard the grid (see par)
     python -m repro verify --replay 'storm:3:atomic_latency=4,jitter=512'
     python -m repro verify --replay ... --shrink
+    python -m repro verify explore --budget 64      # coverage-guided
+    python -m repro verify explore --compare-deck   # vs random deck
 
 The sweep runs every scenario under every (seed, perturbation) pair
 with the race checker attached and invariant/leak checkpoints enabled.
 Each failure prints a replay triple; ``--replay`` re-executes exactly
 that schedule, and ``--shrink`` bisects the perturbation set down to a
 minimal reproducer.  Exit status is 0 iff every case passed.
+
+``explore`` swaps the fixed grid for the coverage-guided engine
+(:mod:`repro.verify.explore`): schedule-state digests steer the case
+budget toward unvisited interleavings, and coverage is reported as
+distinct schedules visited.  Explorer failures print the same replay
+triples (the steering decision rides in the ``steer`` knob).
 """
 
 from __future__ import annotations
@@ -43,7 +51,121 @@ def _report_failures(failures: List[CaseResult], do_shrink: bool) -> None:
                   f"--replay '{minimal.replay}'")
 
 
+def main_explore(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro verify explore`` — coverage-guided exploration."""
+    from .explore import deck_coverage, explore
+    from ..sim.scheduler import PROBE_EVERY
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify explore",
+        description="Coverage-guided schedule exploration: steer the case "
+                    "budget toward unvisited interleavings using scheduler "
+                    "state digests; report distinct schedules visited.",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=64, metavar="N",
+        help="number of cases to explore (default 64)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", choices=sorted(SCENARIOS),
+        metavar="NAME", default=None,
+        help=f"restrict to a scenario (repeatable); "
+             f"default all: {', '.join(sorted(SCENARIOS))}",
+    )
+    parser.add_argument(
+        "--backend", metavar="NAME", default="ours",
+        help="allocator backend to explore (default 'ours')",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="K",
+        help="master seed for the steering RNG (default 0); coverage and "
+             "failures are deterministic in (budget, scenarios, seed)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard each steering batch across N worker processes "
+             "(0 = one per CPU; default 1); the explored sequence is "
+             "identical at any worker count",
+    )
+    parser.add_argument(
+        "--probe-every", type=int, default=PROBE_EVERY, metavar="E",
+        help="scheduler events between digest probes (default "
+             f"{PROBE_EVERY}; smaller = finer schedule distinctions, "
+             "more probe overhead)",
+    )
+    parser.add_argument(
+        "--min-coverage", type=int, default=0, metavar="S",
+        help="fail (exit 1) when fewer than S distinct schedules were "
+             "visited — the CI floor that keeps the explorer honest",
+    )
+    parser.add_argument(
+        "--compare-deck", action="store_true",
+        help="also run the random DEFAULT_DECK grid at the same budget "
+             "with the same coverage metric, and print both",
+    )
+    parser.add_argument(
+        "--shrink", action="store_true",
+        help="shrink the first protocol failure to a minimal reproducer",
+    )
+    parser.add_argument(
+        "--fail-on-budget", action="store_true",
+        help="treat event-budget exhaustions as failures (default: "
+             "reported but non-fatal — the livelock guard tripping is a "
+             "budget artifact, not a protocol violation)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-case progress lines",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    log = None if args.quiet else print
+    print(f"explore: coverage-guided, budget {args.budget} case(s), "
+          f"master seed {args.seed}")
+    report = explore(
+        scenarios=args.scenario, budget=args.budget, backend=args.backend,
+        master_seed=args.seed, workers=args.workers,
+        probe_every=args.probe_every, log=log,
+    )
+    print()
+    print(report.describe())
+    if args.compare_deck:
+        print(f"\ndeck: random DEFAULT_DECK grid at the same budget "
+              f"({args.budget} case(s))")
+        baseline = deck_coverage(
+            scenarios=args.scenario, budget=args.budget,
+            backend=args.backend, workers=args.workers,
+            probe_every=args.probe_every, log=log,
+        )
+        print()
+        print(baseline.describe())
+    if args.shrink and report.failures:
+        first = report.failures[0]
+        if first.spec.perturbation:
+            print(f"\nshrinking {first.spec.replay} ...")
+            minimal = shrink_case(first.spec, log=print)
+            print(f"minimal reproducer: python -m repro verify "
+                  f"--replay '{minimal.replay}'")
+    elapsed = time.time() - t0
+    status = 0
+    if report.failures:
+        status = 1
+    if args.fail_on_budget and report.budget_failures:
+        status = 1
+    if report.distinct_schedules < args.min_coverage:
+        print(f"\ncoverage floor missed: {report.distinct_schedules} "
+              f"distinct schedule(s) < required {args.min_coverage}")
+        status = 1
+    print(f"({elapsed:.1f}s)")
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explore":
+        return main_explore(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro verify",
         description="Deterministic concurrency verification: schedule "

@@ -25,9 +25,9 @@ from ..bench import workloads
 from ..sim import ops
 from ..sim.cost_model import DEFAULT_COST_MODEL
 from ..sim.device import GPUDevice
-from ..sim.errors import SimError
+from ..sim.errors import EventBudgetExceeded, SimError
 from ..sim.memory import DeviceMemory
-from ..sim.scheduler import Scheduler
+from ..sim.scheduler import PROBE_EVERY, Scheduler
 from .perturbation import DEFAULT_DECK, Perturbation
 from .race import RaceChecker, RaceFinding
 
@@ -93,15 +93,31 @@ class CaseResult:
     spec: CaseSpec
     error: Optional[str] = None
     findings: List[RaceFinding] = field(default_factory=list)
+    #: True when the failure is the EVENT_BUDGET livelock guard tripping,
+    #: not a protocol violation — a budget artifact must not be chased
+    #: by the explorer or accepted by the shrinker as "the same bug".
+    budget_exhausted: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None and not self.findings
 
+    @property
+    def kind(self) -> str:
+        """``"pass"``, ``"budget"`` (event-budget exhaustion) or
+        ``"protocol"`` (invariant / race / simulator failure)."""
+        if self.ok:
+            return "pass"
+        # Race findings are protocol violations even if the run *also*
+        # tripped the budget; only a bare budget trip classifies as one.
+        return "budget" if (self.budget_exhausted and not self.findings) \
+            else "protocol"
+
     def describe(self) -> str:
         if self.ok:
             return f"PASS {self.spec}"
-        lines = [f"FAIL {self.spec}"]
+        tag = " [budget-exhausted]" if self.budget_exhausted else ""
+        lines = [f"FAIL{tag} {self.spec}"]
         if self.error:
             lines.append(f"  error: {self.error}")
         lines += [f"  {f}" for f in self.findings]
@@ -125,7 +141,9 @@ class _Harness:
     def __init__(self, seed: int, perturbation: Perturbation,
                  checker: Optional[RaceChecker], pool_order: int,
                  num_sms: int = 4, mem_bytes: int = 16 << 20,
-                 fault_injector: object = None, backend: str = "ours"):
+                 fault_injector: object = None, backend: str = "ours",
+                 probe: Optional[Callable[[tuple], None]] = None,
+                 probe_every: int = PROBE_EVERY):
         cost, jitter = perturbation.apply(DEFAULT_COST_MODEL)
         self.mem = DeviceMemory(mem_bytes)
         self.device = GPUDevice(num_sms=num_sms, max_resident_blocks=2)
@@ -139,6 +157,8 @@ class _Harness:
             self.mem, self.device, cost, seed=seed,
             tracer=checker, dispatch_jitter=jitter,
             fault_injector=fault_injector,
+            steer=perturbation.steer,
+            schedule_probe=probe, probe_every=probe_every,
         )
         self.checker = checker
         if checker is not None and self.handle.caps.race_checkable:
@@ -380,11 +400,22 @@ SCENARIOS: Dict[str, tuple] = {
 # case execution + sweep
 # ----------------------------------------------------------------------
 def run_case(spec: CaseSpec, check_races: bool = True,
-             allocator_hook: Optional[Callable] = None) -> CaseResult:
+             allocator_hook: Optional[Callable] = None,
+             probe: Optional[Callable[[tuple], None]] = None,
+             probe_every: int = PROBE_EVERY) -> CaseResult:
     """Execute one case; never raises for verification failures.
 
     ``allocator_hook(harness)`` runs after setup — mutation tests use it
     to sabotage the allocator under an otherwise identical case.
+    ``probe`` attaches a scheduler state-digest hook (see
+    :meth:`~repro.sim.scheduler.Scheduler.state_digest`); the
+    exploration engine records schedule coverage through it.
+
+    An :class:`~repro.sim.errors.EventBudgetExceeded` trip is classified
+    as a *budget* outcome (``result.budget_exhausted``), distinct from
+    protocol failures: the livelock guard firing says nothing about the
+    allocator's invariants, and downstream consumers (explorer,
+    shrinker) must not chase it as one.
     """
     if spec.scenario not in SCENARIOS:
         raise ValueError(
@@ -396,10 +427,14 @@ def run_case(spec: CaseSpec, check_races: bool = True,
     result = CaseResult(spec)
     try:
         h = _Harness(spec.seed, spec.perturbation, checker,
-                     backend=spec.backend, **harness_kwargs)
+                     backend=spec.backend, probe=probe,
+                     probe_every=probe_every, **harness_kwargs)
         if allocator_hook is not None:
             allocator_hook(h)
         scenario(h)
+    except EventBudgetExceeded as exc:
+        result.error = f"{type(exc).__name__}: {exc}"
+        result.budget_exhausted = True
     except (SimError, AssertionError) as exc:
         result.error = f"{type(exc).__name__}: {exc}"
     if checker is not None:

@@ -6,6 +6,17 @@ shrinker greedily re-runs the case with each knob removed (ddmin over a
 set this small degenerates to greedy subset removal) and keeps any
 reduction that still fails, iterating to a fixpoint.  Determinism makes
 this sound: the same ``(seed, perturbation)`` is the same schedule.
+
+Two failure hygiene rules:
+
+* The unmodified spec is re-run first.  Shrinking a spec that does not
+  actually fail used to return it unchanged — indistinguishable from
+  "already 1-minimal" — so a stale or mistyped replay string silently
+  produced a bogus "minimal reproducer".  Now it raises.
+* A reduction only counts if it fails *the same way* (the
+  :attr:`~repro.verify.runner.CaseResult.kind` matches): a protocol
+  failure must not shrink into an event-budget artifact, which would
+  hand debugging a livelock-guard trip instead of the actual bug.
 """
 
 from __future__ import annotations
@@ -24,12 +35,26 @@ def shrink_case(
     """Return ``spec`` with a 1-minimal perturbation (removing any single
     remaining knob makes the failure disappear).
 
+    Raises :class:`ValueError` when ``spec`` has knobs to shrink but
+    does not fail under ``rerun`` — a passing spec has no failure to
+    minimize, and returning it unchanged would misreport it as a
+    reproducer.
+
     ``rerun`` defaults to :func:`~repro.verify.runner.run_case`; tests
     inject counting/stub runners through it.
     """
     if rerun is None:
         rerun = run_case
     current = spec
+    if not current.perturbation:
+        return current  # baseline schedule: nothing to remove
+    baseline = rerun(current)
+    if baseline.ok:
+        raise ValueError(
+            f"shrink_case: {current.replay!r} does not fail — nothing to "
+            "shrink (stale replay string, or a fixed bug?)"
+        )
+    kind = baseline.kind
     progress = True
     while progress and current.perturbation:
         progress = False
@@ -37,7 +62,8 @@ def shrink_case(
             candidate = replace(
                 current, perturbation=current.perturbation.without(name)
             )
-            if not rerun(candidate).ok:
+            res = rerun(candidate)
+            if not res.ok and res.kind == kind:
                 if log is not None:
                     log(f"shrink: dropped {name} -> {candidate.replay}")
                 current = candidate

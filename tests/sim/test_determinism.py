@@ -51,6 +51,84 @@ class TestTracerParity:
         assert fast.op_counts == traced.op_counts
         assert finals[0] == finals[1] == 2 * 32 * 3
 
+    def test_digest_probe_parity_fast_vs_traced(self, mem, device):
+        """The schedule digest stream must be byte-identical between the
+        fast path and the traced path — the explorer's coverage hashes
+        are only meaningful if they name the schedule, not the loop that
+        executed it.  (The heap's *internal list order* differs between
+        the two loops for the same entry multiset, which is why
+        ``state_digest`` folds commutatively.)"""
+        streams = []
+        for tracer in (None, Tracer()):
+            m = type(mem)(1 << 20)
+            lock = SpinLock(m)
+            counter = m.host_alloc(8)
+            m.store_word(counter, 0)
+            digests = []
+            sched = Scheduler(m, device, seed=42, tracer=tracer,
+                              schedule_probe=digests.append,
+                              probe_every=64)
+            sched.launch(_contended_kernel(lock, counter, 3),
+                         grid=2, block=32)
+            sched.run(max_events=5_000_000)
+            streams.append(digests)
+        fast, traced = streams
+        assert fast, "probe never fired"
+        assert fast == traced
+
+    def test_probe_does_not_change_the_schedule(self, mem, device):
+        """Attaching a digest probe is observation only: the virtual
+        outcome must match an unprobed run exactly."""
+        reports = []
+        for probe in (None, lambda d: None):
+            m = type(mem)(1 << 20)
+            lock = SpinLock(m)
+            counter = m.host_alloc(8)
+            m.store_word(counter, 0)
+            sched = Scheduler(m, device, seed=42, schedule_probe=probe,
+                              probe_every=64)
+            sched.launch(_contended_kernel(lock, counter, 3),
+                         grid=2, block=32)
+            reports.append(sched.run(max_events=5_000_000))
+        assert reports[0].cycles == reports[1].cycles
+        assert reports[0].events == reports[1].events
+        assert reports[0].op_counts == reports[1].op_counts
+
+    def test_steer_zero_is_the_historical_schedule(self, mem, device):
+        """``steer=0`` (the default) must not change anything: every
+        replay string minted before the knob existed still names the
+        same schedule."""
+        reports = []
+        for kwargs in ({}, {"steer": 0}):
+            m = type(mem)(1 << 20)
+            lock = SpinLock(m)
+            counter = m.host_alloc(8)
+            m.store_word(counter, 0)
+            sched = Scheduler(m, device, seed=42, **kwargs)
+            sched.launch(_contended_kernel(lock, counter, 3),
+                         grid=2, block=32)
+            reports.append(sched.run(max_events=5_000_000))
+        assert reports[0].cycles == reports[1].cycles
+        assert reports[0].events == reports[1].events
+
+    def test_steer_salts_are_deterministic_and_distinct(self, mem, device):
+        """The same salt replays the same schedule; different salts give
+        the scheduler different dispatch phasings (that is the whole
+        point of minting fresh ones)."""
+        def run_with(steer):
+            m = type(mem)(1 << 20)
+            lock = SpinLock(m)
+            counter = m.host_alloc(8)
+            m.store_word(counter, 0)
+            sched = Scheduler(m, device, seed=42, steer=steer)
+            sched.launch(_contended_kernel(lock, counter, 3),
+                         grid=2, block=32)
+            r = sched.run(max_events=5_000_000)
+            return (r.cycles, r.events)
+        assert run_with(1) == run_with(1)
+        assert run_with(1) != run_with(0)
+        assert run_with(1) != run_with(2)
+
     def test_tracer_actually_recorded(self, mem, device):
         tracer = Tracer()
         lock = SpinLock(mem)

@@ -1,0 +1,209 @@
+"""Exploration engine: determinism, coverage, outcome taxonomy, teeth.
+
+The teeth test seeds a *contention-gated* protocol bug: TBuddy's
+transition path publishes with a plain store — but only when its entry
+load observes the target node's lock bit already set.  Executing the bad
+store therefore requires a schedule that contends that exact node at
+that exact moment, which is precisely the kind of corner a fixed
+perturbation grid visits only by luck and a coverage-guided explorer is
+built to reach.  The target node was calibrated (see TREE_NODE below)
+so the DEFAULT_DECK grid misses the bug at an equal case budget while
+the explorer's steered schedules hit it.
+"""
+
+import pytest
+
+from repro.core import tbuddy as tb_mod
+from repro.sim import ops
+from repro.verify import CaseSpec, Perturbation, run_case, shrink_case
+from repro.verify import runner as runner_mod
+from repro.verify.cli import main as verify_main
+from repro.verify.explore import (
+    BATCH,
+    ExploreItem,
+    Explorer,
+    deck_coverage,
+    explore,
+    run_probed,
+)
+
+#: equal-budget comparison point for the separation tests: 16 cases is
+#: the DEFAULT_DECK's full 2-seed grid over one scenario.
+SEP_BUDGET = 16
+
+#: the seeded bug's gated tree node.  Calibrated empirically (schedule-
+#: neutral spy on ``_transition`` entry loads): at SEP_BUDGET over the
+#: storm scenario, no DEFAULT_DECK schedule ever observes this node's
+#: lock bit set at transition entry, while explorer schedules (master
+#: seed 0) do.  If a scheduler change shifts schedules, re-run the spy
+#: (record nodes with LOCK_BIT set at the first ``_transition`` load,
+#: per case) and pick a node in the explorer-only set.
+TREE_NODE = 89
+
+
+@pytest.fixture
+def contended_publish(monkeypatch):
+    """Seeded bug: when ``_transition``'s entry load sees TREE_NODE's
+    lock bit set, publish with a plain store instead of locking.
+
+    The wrapper forwards the original generator's ops verbatim until
+    the gate fires, so every schedule is byte-identical to the clean
+    run up to the moment the bug executes — the deck/explorer
+    separation measured on clean runs carries over exactly.
+    """
+    orig = tb_mod.TBuddy._transition
+
+    def broken(self, ctx, node, new_word, expect_state=None):
+        gen = orig(self, ctx, node, new_word, expect_state)
+        op = next(gen)  # _lock's entry load of the node word
+        res = yield op
+        if (node == TREE_NODE and op[0] == ops.OP_LOAD
+                and (res & tb_mod.LOCK_BIT)):
+            gen.close()
+            yield ops.store(self._naddr(node), new_word)
+            return True
+        try:
+            while True:
+                op = gen.send(res)
+                res = yield op
+        except StopIteration as e:
+            return e.value
+
+    monkeypatch.setattr(tb_mod.TBuddy, "_transition", broken)
+
+
+class TestScheduleIdentity:
+    def test_same_spec_same_schedule_digest(self):
+        """Replay determinism: the same explore spec produces a
+        byte-identical digest chain (prefixes and schedule hash)."""
+        item = ExploreItem(
+            CaseSpec("churn", 0, Perturbation.parse("steer=2")),
+            probe_every=256,
+        )
+        a, b = run_probed(item), run_probed(item)
+        assert a.result.ok and b.result.ok
+        assert a.prefixes, "probe never fired"
+        assert a.prefixes == b.prefixes
+        assert a.schedule == b.schedule
+        assert a.peak_contention == b.peak_contention
+
+    def test_distinct_steer_salts_distinct_schedules(self):
+        outs = [
+            run_probed(ExploreItem(
+                CaseSpec("churn", 0, Perturbation.parse(f"steer={s}")),
+                probe_every=256,
+            ))
+            for s in (1, 2)
+        ]
+        assert outs[0].schedule != outs[1].schedule
+
+    def test_explored_specs_replay_through_existing_machinery(self):
+        """Every explored spec — steering suffix included — must round-
+        trip through the replay string parser."""
+        spec = CaseSpec("storm", 3,
+                        Perturbation.parse("atomic_latency=4,steer=7"))
+        assert CaseSpec.parse(spec.replay) == spec
+        assert "steer=7" in spec.replay
+
+
+class TestExplorerDeterminism:
+    def test_identical_reports_at_any_worker_count(self):
+        reports = [
+            explore(scenarios=["churn"], budget=2 * BATCH, workers=w)
+            for w in (1, 2)
+        ]
+        a, b = reports
+        assert a.cases == b.cases == 2 * BATCH
+        assert a.distinct_schedules == b.distinct_schedules
+        assert a.distinct_prefixes == b.distinct_prefixes
+        assert a.peak_contention == b.peak_contention
+        assert ([f.spec.replay for f in a.failures]
+                == [f.spec.replay for f in b.failures])
+
+    def test_master_seed_changes_the_walk(self):
+        a = explore(scenarios=["churn"], budget=8, master_seed=0)
+        b = explore(scenarios=["churn"], budget=8, master_seed=1)
+        # round 0 is shared; the steered tail must diverge
+        assert a.cases == b.cases == 8
+        assert (a.distinct_schedules, a.distinct_prefixes) \
+            != (b.distinct_schedules, b.distinct_prefixes)
+
+
+class TestCoverage:
+    def test_explorer_beats_the_deck_at_equal_budget(self):
+        """The tentpole's reason to exist: at the same case budget the
+        steered walk visits strictly more distinct schedules than the
+        fixed grid (deterministic, so pinned with strict >)."""
+        ex = explore(scenarios=["churn"], budget=SEP_BUDGET)
+        deck = deck_coverage(scenarios=["churn"], budget=SEP_BUDGET)
+        assert ex.cases == deck.cases == SEP_BUDGET
+        assert ex.distinct_schedules > deck.distinct_schedules
+        assert ex.distinct_prefixes > deck.distinct_prefixes
+
+
+class TestTeeth:
+    def test_explorer_finds_seeded_bug_the_deck_misses(self, contended_publish):
+        deck = deck_coverage(scenarios=["storm"], budget=SEP_BUDGET)
+        assert not deck.failures, (
+            "calibration drifted: the DEFAULT_DECK grid now catches the "
+            "gated bug — re-calibrate TREE_NODE (see module docstring)\n"
+            + deck.describe()
+        )
+        ex = explore(scenarios=["storm"], budget=SEP_BUDGET)
+        assert ex.failures, (
+            "explorer lost its teeth: the seeded contention-gated bug "
+            "went unnoticed at a budget where steered schedules reach "
+            "it\n" + ex.describe()
+        )
+        rules = {f.rule for res in ex.failures for f in res.findings}
+        assert rules & {"tree-store-unlocked", "tree-store-clobbers-lock"}, \
+            rules
+
+    def test_explorer_failures_replay_and_shrink(self, contended_publish):
+        ex = explore(scenarios=["storm"], budget=SEP_BUDGET)
+        assert ex.failures
+        first = ex.failures[0]
+        # deterministic replay: the bare spec reproduces the failure
+        again = run_case(first.spec)
+        assert not again.ok
+        assert again.kind == first.kind
+        assert ({f.rule for f in again.findings}
+                == {f.rule for f in first.findings})
+        # and the existing shrinker minimizes it
+        minimal = shrink_case(first.spec)
+        assert not run_case(minimal).ok
+        assert len(minimal.perturbation) <= len(first.spec.perturbation)
+
+
+class TestBudgetTaxonomy:
+    def test_budget_exhaustion_is_its_own_outcome(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "EVENT_BUDGET", 2_000)
+        res = run_case(CaseSpec("churn", 0))
+        assert not res.ok
+        assert res.budget_exhausted
+        assert res.kind == "budget"
+        assert "EventBudgetExceeded" in res.error
+        assert "[budget-exhausted]" in res.describe()
+
+    def test_explorer_segregates_budget_trips(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "EVENT_BUDGET", 2_000)
+        rep = explore(scenarios=["churn"], budget=4)
+        assert not rep.failures          # no protocol violations...
+        assert rep.budget_failures       # ...only budget artifacts
+        assert rep.ok                    # which are non-fatal by default
+
+
+class TestCli:
+    def test_explore_subcommand_smoke(self, capsys):
+        rc = verify_main(["explore", "--budget", "6", "--scenario",
+                          "churn", "--quiet", "--min-coverage", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "distinct schedule(s)" in out
+
+    def test_coverage_floor_fails_the_run(self, capsys):
+        rc = verify_main(["explore", "--budget", "4", "--scenario",
+                          "churn", "--quiet", "--min-coverage", "999"])
+        out = capsys.readouterr().out
+        assert rc == 1, out
+        assert "coverage floor missed" in out

@@ -87,11 +87,21 @@ def test_skipped_renege_is_caught(skipped_renege):
     res = run_case(CaseSpec("storm_oom", 0))
     assert not res.ok, "sweep missed the skipped renege"
     assert res.error is not None
-    # deadlock (waiters spinning on the phantom expectation) or the
-    # quiescent accounting check, depending on the schedule
+    # structural deadlock, the livelock guard (waiters spinning on the
+    # phantom expectation past the event budget), or the quiescent
+    # accounting check — which one depends on the schedule
     assert ("DeadlockError" in res.error
+            or "EventBudgetExceeded" in res.error
             or "renege" in res.error
             or "E ==" in res.error), res.error
+    # the outcome taxonomy must agree with the error: a budget trip with
+    # no race findings is a "budget" outcome, anything else "protocol"
+    if "EventBudgetExceeded" in res.error:
+        assert res.budget_exhausted
+        assert res.kind == ("protocol" if res.findings else "budget")
+    else:
+        assert not res.budget_exhausted
+        assert res.kind == "protocol"
 
 
 def test_storm_oom_control_passes_without_mutation_b(monkeypatch):

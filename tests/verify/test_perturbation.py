@@ -51,6 +51,46 @@ class TestSpec:
         with pytest.raises(ValueError, match="knob=value"):
             Perturbation.parse("jitter")
 
+    def test_nan_rejected(self):
+        # nan slips through the `value <= 0` guard (every comparison
+        # with nan is False) and used to construct a poisoned spec
+        with pytest.raises(ValueError, match="finite"):
+            Perturbation.parse("jitter=nan")
+        with pytest.raises(ValueError, match="finite"):
+            Perturbation((("atomic_latency", float("nan")),))
+
+    def test_inf_rejected(self):
+        # inf round-trips into a spec string no replay can execute
+        with pytest.raises(ValueError, match="finite"):
+            Perturbation.parse("atomic_latency=inf")
+        with pytest.raises(ValueError, match="finite"):
+            Perturbation.parse("store_latency=-inf")
+
+    def test_sub_one_jitter_rejected_at_construction(self):
+        # jitter=0.5 used to pass the > 0 guard, then truncate to a
+        # 0-cycle jitter at apply time — a "perturbed" spec silently
+        # identical to the baseline schedule
+        with pytest.raises(ValueError, match=">= 1"):
+            Perturbation.parse("jitter=0.5")
+
+    def test_steer_round_trips(self):
+        p = Perturbation.parse("atomic_latency=4,steer=7")
+        assert p.spec == "atomic_latency=4,steer=7"
+        assert Perturbation.parse(p.spec) == p
+        assert p.steer == 7
+
+    def test_steer_defaults_to_zero_when_absent(self):
+        assert Perturbation.parse("jitter=256").steer == 0
+        assert Perturbation().steer == 0
+
+    def test_fractional_steer_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            Perturbation.parse("steer=1.5")
+
+    def test_sub_one_steer_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            Perturbation.parse("steer=0.25")
+
 
 class TestApply:
     def test_baseline_is_identity(self):
@@ -75,6 +115,21 @@ class TestApply:
             DEFAULT_COST_MODEL
         )
         assert cost.store_latency == 1
+
+    def test_fractional_jitter_rounds_instead_of_truncating(self):
+        # int(value) used to floor 256.7 to 256 silently; rounding is
+        # the documented contract now
+        _, jitter = Perturbation.parse("jitter=256.7").apply(
+            DEFAULT_COST_MODEL
+        )
+        assert jitter == 257
+
+    def test_steer_is_not_a_timing_knob(self):
+        cost, jitter = Perturbation.parse("steer=5").apply(
+            DEFAULT_COST_MODEL
+        )
+        assert cost is DEFAULT_COST_MODEL
+        assert jitter == 0
 
 
 class TestShrinkSupport:

@@ -1,5 +1,7 @@
 """Shrinker: greedy knob removal to a 1-minimal failing perturbation."""
 
+import pytest
+
 from repro.verify import CaseSpec, Perturbation, shrink_case
 from repro.verify.runner import CaseResult
 
@@ -41,6 +43,40 @@ def test_baseline_spec_returns_immediately():
     rerun, calls = predicate_rerun(lambda names: True)
     assert shrink_case(spec, rerun=rerun) == spec
     assert calls == []  # nothing to remove, nothing re-run
+
+
+def test_passing_spec_raises_instead_of_misreporting():
+    """A spec that does not fail has no failure to minimize; returning
+    it unchanged used to be indistinguishable from 'already 1-minimal'
+    (the stale-replay-string trap)."""
+    spec = CaseSpec("storm", 0, Perturbation.parse("jitter=256"))
+    rerun, calls = predicate_rerun(lambda names: False)
+    with pytest.raises(ValueError, match="does not fail"):
+        shrink_case(spec, rerun=rerun)
+    assert calls == [{"jitter"}]  # exactly the fail-first probe
+
+
+def test_reduction_must_preserve_failure_kind():
+    """A protocol failure must not 'shrink' into an event-budget
+    artifact — that hands debugging a livelock-guard trip instead of
+    the bug."""
+    spec = CaseSpec("storm", 0, Perturbation.parse(
+        "atomic_latency=4,jitter=256"))
+
+    def rerun(s):
+        names = {n for n, _ in s.perturbation.items}
+        if names == {"atomic_latency", "jitter"}:
+            return CaseResult(s, error="boom")          # protocol
+        if names == {"jitter"}:                          # dropped atomic
+            return CaseResult(s, error="budget", budget_exhausted=True)
+        if names == {"atomic_latency"}:                  # dropped jitter
+            return CaseResult(s, error="boom")          # protocol
+        return CaseResult(s)                             # baseline passes
+
+    minimal = shrink_case(spec, rerun=rerun)
+    # the budget-kind reduction {jitter} was rejected; the protocol-kind
+    # one {atomic_latency} accepted and is 1-minimal
+    assert minimal.perturbation.spec == "atomic_latency=4"
 
 
 def test_logs_each_accepted_reduction():
