@@ -16,8 +16,10 @@ Design constraints (why this is not just ``Pool.map``):
   ``spawn`` is the fallback where fork is unavailable.  Only the worker
   *function and items* must pickle, so callers shard by name/spec, not
   by closure.
-* **Fail loudly.**  A worker exception cancels the remaining shards and
-  re-raises in the parent; a sharded run never silently drops a case.
+* **Fail loudly, fail fast.**  A worker exception cancels the queued
+  shards and re-raises in the parent immediately — without waiting for
+  in-flight shards to drain; a sharded run never silently drops a case
+  and never parks a failure behind its slowest sibling.
 """
 
 from __future__ import annotations
@@ -96,33 +98,37 @@ def map_sharded(
     ctx = multiprocessing.get_context(preferred_start_method())
     results: List[Any] = [None] * n
     done_count = 0
-    with ProcessPoolExecutor(max_workers=min(workers, n),
-                             mp_context=ctx) as pool:
+    pool = ProcessPoolExecutor(max_workers=min(workers, n), mp_context=ctx)
+    try:
         futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
         pending = set(futures)
-        try:
-            while pending:
-                finished, pending = wait(pending, timeout=heartbeat_s,
-                                         return_when=FIRST_EXCEPTION)
-                if not finished and log is not None:
-                    # Heartbeat: nothing completed within the window.
-                    running = sorted(futures[f] for f in pending)
-                    shown = ", ".join(label(items[i])
-                                      for i in running[:4])
-                    more = len(running) - 4
-                    if more > 0:
-                        shown += f", +{more} more"
-                    log(f"  [{done_count}/{n}] {len(running)} shard(s) "
-                        f"still running: {shown}")
-                    continue
-                for fut in finished:
-                    i = futures[fut]
-                    results[i] = fut.result()  # re-raises worker exceptions
-                    done_count += 1
-                    if log is not None:
-                        log(f"  [{done_count}/{n}] {label(items[i])}")
-        except BaseException:
-            for fut in pending:
-                fut.cancel()
-            raise
+        while pending:
+            finished, pending = wait(pending, timeout=heartbeat_s,
+                                     return_when=FIRST_EXCEPTION)
+            if not finished and log is not None:
+                # Heartbeat: nothing completed within the window.
+                running = sorted(futures[f] for f in pending)
+                shown = ", ".join(label(items[i])
+                                  for i in running[:4])
+                more = len(running) - 4
+                if more > 0:
+                    shown += f", +{more} more"
+                log(f"  [{done_count}/{n}] {len(running)} shard(s) "
+                    f"still running: {shown}")
+                continue
+            for fut in finished:
+                i = futures[fut]
+                results[i] = fut.result()  # re-raises worker exceptions
+                done_count += 1
+                if log is not None:
+                    log(f"  [{done_count}/{n}] {label(items[i])}")
+    except BaseException:
+        # Fail fast: drop queued shards and re-raise *now*.  A ``with``
+        # block (or ``shutdown(wait=True)``) would park the raise behind
+        # the slowest in-flight shard — a failing deck used to report
+        # its failure only after every running case finished.  In-flight
+        # workers finish their current item and exit on their own.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
     return results

@@ -181,7 +181,13 @@ def has_regressions(deltas: List[Delta]) -> bool:
 
 
 def _fmt_value(v: float) -> str:
-    return "-" if isinstance(v, float) and math.isnan(v) else si(v)
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "-"
+        if math.isinf(v):
+            # si() would scale inf to "infG"; render it as itself
+            return "inf" if v > 0 else "-inf"
+    return si(v)
 
 
 def render_deltas(deltas: List[Delta], *, only_interesting: bool = False) -> str:

@@ -1,0 +1,241 @@
+"""Cross-engine parity deck: prove ``batch`` observably equals ``event``.
+
+The batch engine (:mod:`repro.sim.engine_batch`) is only admissible if
+it is *observationally identical* to the event engine — same results,
+same virtual time, same schedule, case by case.  This module is the
+enforcement: a deck spanning every registered bench case and every
+verification scenario, each executed under both engines and compared on
+engine-invariant fingerprints:
+
+* **bench items** (``bench:<case>``) — every ``virtual:*`` metric must
+  match exactly (no tolerance: the engines replay the same seeded
+  schedule, so a one-cycle drift is a bug, not noise);
+* **verify items** (``verify:<scenario>/<seed>``) — the case outcome
+  kind, the full :class:`~repro.verify.explore.DigestTrace` digest
+  sequence (a state fingerprint every ``PROBE_EVERY`` events) and the
+  peak contention depth must all match, which pins the *interleaving*
+  itself, not just the end state.
+
+Wall-clock per engine is recorded alongside so one parity run doubles
+as an honest (if single-sample) event-vs-batch timing sweep.  Items are
+named by spec string so the deck shards through
+:func:`repro.par.pool.map_sharded` — ``check_item`` is module-level and
+picklable by design.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..sim.scheduler import use_engine
+from .suite import CASES, resolve_case, run_case
+
+#: seeds exercised per verify scenario — two schedules each keeps the
+#: deck quick-tier sized while still varying the interleaving under test
+VERIFY_SEEDS = (1, 3)
+
+#: parity record schema identifier
+SCHEMA = "repro.parity/1"
+
+
+@dataclass
+class ParityItem:
+    """One deck item compared across both engines."""
+
+    spec: str              # "bench:fig7" | "verify:storm/3"
+    ok: bool
+    detail: str            # first divergence, "" when ok
+    event_seconds: float
+    batch_seconds: float
+
+
+def default_deck() -> List[str]:
+    """Every bench case plus every verify scenario × :data:`VERIFY_SEEDS`."""
+    from ..verify.runner import SCENARIOS
+
+    deck = [f"bench:{name}" for name in sorted(CASES)]
+    deck += [f"verify:{scen}/{seed}"
+             for scen in sorted(SCENARIOS) for seed in VERIFY_SEEDS]
+    return deck
+
+
+def _diff_metrics(event: dict, batch: dict) -> str:
+    keys = sorted(set(event) | set(batch))
+    bad = [k for k in keys if event.get(k) != batch.get(k)]
+    parts = [f"{k}: event={event.get(k)!r} batch={batch.get(k)!r}"
+             for k in bad[:4]]
+    if len(bad) > 4:
+        parts.append(f"... {len(bad) - 4} more")
+    return "virtual metrics diverge — " + "; ".join(parts)
+
+
+def _check_bench(name: str, tier: str) -> ParityItem:
+    case = resolve_case(name)
+    fps = {}
+    walls = {}
+    for eng in ("event", "batch"):
+        run = run_case(case, tier=tier, repeats=1, engine=eng)
+        walls[eng] = run.wall_seconds[0]
+        fps[eng] = {k: v for k, v in run.metrics.items()
+                    if k.startswith("virtual:")}
+    ok = fps["event"] == fps["batch"]
+    return ParityItem(
+        spec=f"bench:{name}", ok=ok,
+        detail="" if ok else _diff_metrics(fps["event"], fps["batch"]),
+        event_seconds=walls["event"], batch_seconds=walls["batch"],
+    )
+
+
+def _diff_trace(event: tuple, batch: tuple) -> str:
+    ek, ed, ec = event
+    bk, bd, bc = batch
+    if ek != bk:
+        return f"outcome kind diverges — event={ek!r} batch={bk!r}"
+    if ed != bd:
+        n = min(len(ed), len(bd))
+        for i in range(n):
+            if ed[i] != bd[i]:
+                return (f"state digest diverges at probe {i}/{n} — "
+                        f"event={ed[i]:#x} batch={bd[i]:#x}")
+        return (f"digest count diverges — event recorded {len(ed)} "
+                f"probes, batch {len(bd)}")
+    return f"peak contention diverges — event={ec} batch={bc}"
+
+
+def _check_verify(frag: str) -> ParityItem:
+    from ..verify.explore import DigestTrace
+    from ..verify.runner import CaseSpec
+    from ..verify.runner import run_case as run_verify_case
+
+    scenario, _, seed = frag.rpartition("/")
+    spec = CaseSpec(scenario, int(seed))
+    fps = {}
+    walls = {}
+    for eng in ("event", "batch"):
+        trace = DigestTrace()
+        t0 = time.perf_counter()
+        with use_engine(eng):
+            res = run_verify_case(spec, probe=trace)
+        walls[eng] = time.perf_counter() - t0
+        fps[eng] = (res.kind, tuple(trace.digests), trace.peak_contention)
+    ok = fps["event"] == fps["batch"]
+    return ParityItem(
+        spec=f"verify:{frag}", ok=ok,
+        detail="" if ok else _diff_trace(fps["event"], fps["batch"]),
+        event_seconds=walls["event"], batch_seconds=walls["batch"],
+    )
+
+
+def check_item(spec: str, tier: str = "quick") -> ParityItem:
+    """Run one deck item under both engines; module-level so a sharded
+    deck can pickle it (bind ``tier`` with :func:`functools.partial`)."""
+    kind, _, frag = spec.partition(":")
+    if kind == "bench":
+        return _check_bench(frag, tier)
+    if kind == "verify":
+        return _check_verify(frag)
+    raise ValueError(
+        f"bad parity spec {spec!r} (want bench:<case> or "
+        "verify:<scenario>/<seed>)"
+    )
+
+
+@dataclass
+class ParityReport:
+    """All deck items plus the aggregate engine wall split."""
+
+    tier: str
+    items: List[ParityItem]
+
+    @property
+    def ok(self) -> bool:
+        return all(item.ok for item in self.items)
+
+    @property
+    def event_seconds(self) -> float:
+        return sum(item.event_seconds for item in self.items)
+
+    @property
+    def batch_seconds(self) -> float:
+        return sum(item.batch_seconds for item in self.items)
+
+    @property
+    def speedup(self) -> float:
+        """Deck wall under event over deck wall under batch."""
+        return (self.event_seconds / self.batch_seconds
+                if self.batch_seconds else 0.0)
+
+    def table(self) -> str:
+        from ..bench.reporting import format_table
+
+        rows = []
+        for item in self.items:
+            ratio = (item.event_seconds / item.batch_seconds
+                     if item.batch_seconds else 0.0)
+            rows.append([
+                item.spec,
+                "ok" if item.ok else "DIVERGED",
+                f"{item.event_seconds:.3f}",
+                f"{item.batch_seconds:.3f}",
+                f"{ratio:.2f}x",
+            ])
+        rows.append([
+            "deck", "ok" if self.ok else "DIVERGED",
+            f"{self.event_seconds:.3f}", f"{self.batch_seconds:.3f}",
+            f"{self.speedup:.2f}x",
+        ])
+        return format_table(
+            ["item", "parity", "event s", "batch s", "event/batch"], rows
+        )
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "tier": self.tier,
+            "ok": self.ok,
+            "items": [
+                {
+                    "spec": item.spec,
+                    "ok": item.ok,
+                    "detail": item.detail,
+                    "event_seconds": round(item.event_seconds, 6),
+                    "batch_seconds": round(item.batch_seconds, 6),
+                }
+                for item in self.items
+            ],
+            "engine_wall": {
+                "event_seconds": round(self.event_seconds, 6),
+                "batch_seconds": round(self.batch_seconds, 6),
+                "speedup": round(self.speedup, 4),
+            },
+        }
+
+
+def run_parity(deck: Optional[Sequence[str]] = None, tier: str = "quick",
+               workers: int = 1,
+               log: Optional[Callable[[str], None]] = None) -> ParityReport:
+    """Execute the deck; every item runs both engines and compares.
+
+    ``workers > 1`` shards items across processes (each item is
+    self-contained: both of its engine runs stay in the same worker, so
+    the per-item wall ratio is measured on one time-shared core pair and
+    the parity verdict is scheduling-independent).
+    """
+    specs = list(deck) if deck is not None else default_deck()
+    if workers > 1 and len(specs) > 1:
+        from ..par.pool import map_sharded
+
+        items = map_sharded(functools.partial(check_item, tier=tier),
+                            specs, workers=workers, log=log)
+    else:
+        items = []
+        for spec in specs:
+            item = check_item(spec, tier=tier)
+            items.append(item)
+            if log is not None:
+                verdict = "ok" if item.ok else f"DIVERGED ({item.detail})"
+                log(f"parity {spec}: {verdict}")
+    return ParityReport(tier=tier, items=items)

@@ -119,22 +119,29 @@ class _TenantSession:
         return fut
 
     def _reader_loop(self) -> None:
-        for line in self._reader:
-            line = line.strip()
-            if not line:
-                continue
-            reply = protocol.decode_line(line)
-            if reply.get("error") == "protocol":
-                with self.lock:
-                    self.report.protocol_errors += 1
-                continue
-            req = reply.get("req")
-            if req is None:
-                continue  # hello/bye are handled synchronously
-            with self._flock:
-                fut = self._futures.pop(req, None)
-            if fut is not None:
-                fut.resolve(reply)
+        try:
+            for line in self._reader:
+                line = line.strip()
+                if not line:
+                    continue
+                reply = protocol.decode_line(line)
+                if reply.get("error") == "protocol":
+                    with self.lock:
+                        self.report.protocol_errors += 1
+                    continue
+                req = reply.get("req")
+                if req is None:
+                    continue  # hello/bye are handled synchronously
+                with self._flock:
+                    fut = self._futures.pop(req, None)
+                if fut is not None:
+                    fut.resolve(reply)
+        except (OSError, ValueError):
+            # Session teardown closes the socket under us (normally, or
+            # after a wedged-session timeout).  Exiting is the right
+            # response: outstanding futures time out and report, so
+            # nothing is lost by not crashing the thread.
+            return
 
     # -- the tenant's request stream -----------------------------------
     def _run(self) -> None:
@@ -151,6 +158,15 @@ class _TenantSession:
             self._replay_events()
             self._send({"op": OP_BYE})
             reader.join(timeout=REPLY_TIMEOUT)
+            if reader.is_alive():
+                # The join timing out is a result, not a formality: the
+                # server took our BYE and then neither answered nor
+                # closed, so the reader is wedged mid-recv.  Silently
+                # dropping that here used to report the session as
+                # clean.
+                raise RuntimeError(
+                    f"reply reader still alive {REPLY_TIMEOUT}s after "
+                    "bye — server wedged without closing the session")
         except BaseException as e:  # surfaced by LoadGen.run
             self.error = e
         finally:
@@ -163,11 +179,22 @@ class _TenantSession:
         st = self.stats
         malloc_futs: Dict[int, _Future] = {}  # trace event id -> future
         pending: List = []                    # (op, size, future)
-        last_time: Optional[int] = None
+        # Pacing is anchored to one absolute schedule: event k's send
+        # time is t0 + (virtual gap from the first event) / cps.  Paced
+        # by per-event deltas instead, every sleep's overshoot and all
+        # the send/wait time in between accumulated, so long traces
+        # drifted arbitrarily far behind the arrival process they were
+        # supposed to model.
+        origin: Optional[tuple] = None        # (wall t0, first event time)
         for e in self.events:
-            if self.cps and last_time is not None and e.time > last_time:
-                _time.sleep((e.time - last_time) / self.cps)
-            last_time = e.time
+            if self.cps:
+                if origin is None:
+                    origin = (_time.monotonic(), e.time)
+                else:
+                    target = origin[0] + (e.time - origin[1]) / self.cps
+                    delay = target - _time.monotonic()
+                    if delay > 0:
+                        _time.sleep(delay)
             if e.op == EV_MALLOC:
                 st.n_malloc += 1
                 st.bytes_requested += e.size

@@ -1,0 +1,1070 @@
+"""Batch-stepped scheduler engine (``Scheduler(engine="batch")``).
+
+The event engine in :mod:`repro.sim.scheduler` pays the priority queue
+for every event: one ``heappop`` (or ``heappushpop``) per generator
+resume, one tuple allocation per reschedule.  But SIMT workloads are
+cohort-shaped — warps start in near-lockstep, barriers and convergence
+windows release whole groups at the same cycle — so a large fraction
+of events share their timestamp with others (54% of the shootout's
+events sit in cohorts of two or more).
+
+The fast loop replaces the per-event heap with a **timing wheel**: a
+:data:`_RING`-slot ring covering the horizon ``[now, now + _RING)``,
+one live timestamp per slot (within one horizon window two distinct
+live times can never collide — the ring is as long as the window).  A
+slot holds ``None`` (dead), a bare item (one event), or a list of
+items in seq order.  The payoffs:
+
+* **Reschedules are list appends.**  A push inside the horizon indexes
+  ``ring[t & _RMASK]`` and appends — no tuple allocation, no sift.
+  Same-cycle continuations land in the slot currently being walked and
+  run in the same drain.
+
+* **Heaps operate per distinct timestamp, not per event.**  An
+  int-heap of live slot times advances ``now``; a far heap carries the
+  rare push beyond the horizon (randomized backoff sleeps,
+  perturbation-scaled latencies) and migrates into the wheel at every
+  advancement, before anything at the new ``now`` runs.
+
+* **Cohorts drain whole.**  A list slot is walked with the budget and
+  probe compares hoisted out of the checkless stretch between
+  accounting boundaries; a bare-item slot runs the event engine's own
+  tight body with none of the batch bookkeeping.
+
+* **A lone continuation skips the wheel entirely.**  When a singleton
+  event pushes one continuation into an empty slot, it is *deferred*
+  in a register pair and, unless another slot runs first, executes
+  next with zero heap and zero ring traffic — the event engine's
+  deferred-``heappushpop`` trick lifted onto slot times.
+
+The traced loop (tracer attached — telemetry dominates there) keeps
+the canonical heap and drains ties into flat batches, with same-cycle
+continuations accumulated in a plain list and every future push going
+straight to the heap with a real seq, exactly like the event engine.
+
+Handler-side reschedules are captured by shadowing the scheduler's
+``_push`` / ``_push_timer`` / ``_push_group`` *instance* attributes
+with engine closures for the duration of the run (deleted in
+``finally``, restoring the class methods) — park handlers,
+``_finish_thread``'s block dispatches, and convergence-window timers
+all route through those methods, so no handler needs to know which
+engine is live.  An item is an ``int`` tid or a timer callable;
+``type(item) is int`` discriminates.
+
+**Parity contract.**  Events execute in exactly the event engine's
+order: wheel appends happen in push (= seq) order and slots are walked
+oldest-first, far-heap entries carry materialized seqs, and migration
+at each advancement precedes every newer push, so the global
+``(t, seq)`` order is reproduced without materializing seqs for wheel
+residents.  Budget accounting, probe cadence, and the digest's
+pending-event multiset (current slot remainder + live ring slots +
+far heap) are checked at the same per-event points as the event
+loops, so ``virtual:*`` metrics and ``state_digest`` traces are
+byte-identical across engines — pinned by the cross-engine parity
+deck (``python -m repro perf parity``).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush, heappushpop
+from typing import Optional
+
+from . import ops as _ops
+from .errors import EventBudgetExceeded, InvalidOp
+from .scheduler import _BATCH, _NO_BUDGET, _TIMER, Scheduler, SimReport
+
+
+def run_batch(sched: Scheduler, max_events: Optional[int] = None) -> SimReport:
+    """Run ``sched`` to completion with the batch-stepped engine.
+
+    Entry point used by :meth:`Scheduler.run` when ``engine="batch"``;
+    dispatches to the fast or traced variant exactly like the event
+    engine does.
+    """
+    if sched.tracer is None:
+        return _run_fast_batch(sched, max_events)
+    return _run_traced_batch(sched, max_events)
+
+
+def _traced_pending(sched, t, items, idx, cur):
+    """The pending-event multiset mid-batch, as ``(time, tid)`` pairs.
+
+    The event engine's probe sees the heap with the current entry
+    popped; the equivalent view here is the remaining items of the
+    current batch (current item excluded — ``idx`` has already
+    advanced past it), the same-cycle continuations accumulated so
+    far, and the heap.  Timer items fold as :data:`_TIMER`, matching
+    the event engine's timer entries.
+    """
+    for j in range(idx, len(items)):
+        item = items[j]
+        yield (t, item) if type(item) is int else (t, _TIMER)
+    for item in cur:
+        yield (t, item) if type(item) is int else (t, _TIMER)
+    yield from sched._heap_pending()
+
+
+#: timing-wheel horizon (slots) for the fast loop.  Power of two so the
+#: slot index is one AND.  Covers every fixed cost-model latency
+#: (dispatch 200 + jitter is the largest); only long randomized backoff
+#: sleeps and perturbation-scaled latencies overflow to the far heap.
+_RING = 1024
+_RMASK = _RING - 1
+
+#: recycled all-``None`` wheels — allocating a fresh 1024-slot list per
+#: ``run()`` would dominate the many-short-runs workloads (serve
+#: sessions, trace replay); clean exits hand their wheel back
+_WHEEL_POOL: list = []
+
+
+def _ring_pending(t, items, idx, now, ring, over):
+    """The pending-event multiset mid-run, as ``(time, tid)`` pairs.
+
+    Mirrors :func:`_composite_pending` for the timing-wheel layout: the
+    rest of the current slot (``items[idx:]``), every other live ring
+    slot (its time reconstructed from the offset to ``now``), and the
+    far-future heap.  Timer items fold as :data:`_TIMER`.
+    """
+    for j in range(idx, len(items)):
+        item = items[j]
+        yield (t, item) if type(item) is int else (t, _TIMER)
+    for off in range(_RING):
+        st = now + off
+        lst = ring[st & _RMASK]
+        if lst is None or lst is items:
+            continue
+        if type(lst) is list:
+            for item in lst:
+                yield (st, item) if type(item) is int else (st, _TIMER)
+        elif type(lst) is int:
+            yield (st, lst)
+        else:
+            yield (st, _TIMER)
+    for e in over:
+        tid = e[2]
+        if tid >= 0:
+            yield (e[0], tid)
+        elif tid == _TIMER:
+            yield (e[0], _TIMER)
+        else:  # _BATCH leftover carried over from an interrupted run
+            et = e[0]
+            b = e[3]
+            for j in range(1, len(b)):
+                item = b[j]
+                yield (et, item) if type(item) is int else (et, _TIMER)
+
+
+def _run_fast_batch(sched: Scheduler, max_events: Optional[int]) -> SimReport:
+    """Batch-stepped hot loop, no tracer attached: a timing wheel.
+
+    Executes the identical per-event protocol as
+    ``Scheduler._run_fast`` — same latencies, same op-count placements,
+    same budget/probe arithmetic — but replaces the per-event priority
+    queue with a :data:`_RING`-slot timing wheel.  Every pending event
+    inside the horizon ``[now, now + _RING)`` lives in the flat list at
+    ``ring[t & _RMASK]`` (one live time per slot, items in seq order);
+    reschedules are plain list appends, same-cycle continuations land
+    in the slot currently being walked, and the only heaps left are two
+    small ones that operate per *distinct timestamp*, not per event: an
+    int-heap of live slot times (advancing ``now``) and a far heap for
+    the rare reschedule beyond the horizon (randomized backoff sleeps,
+    perturbation-scaled latencies).  Far entries migrate into the wheel
+    at every advancement of ``now``, before any event at the new time
+    runs, which keeps slot append order equal to global seq order.
+    """
+    cm = sched.cost_model
+    mem = sched.memory
+    heap = sched._heap
+    threads = sched._threads
+    word_avail = sched._word_avail
+    word_avail_get = word_avail.get
+    counts = sched._op_counts
+    atomic_service = cm.atomic_service
+    atomic_latency = cm.atomic_latency
+    load_latency = cm.load_latency
+    store_latency = cm.store_latency
+    step_cost = cm.step_cost
+    yield_cost = cm.yield_cost
+    load_word = mem.load_word
+    store_word = mem.store_word
+    cas_word = mem.cas_word
+    atomic_exec = sched._atomic_exec
+    park_get = sched._park_dispatch.get
+    track = sched.track_contention
+    word_ops = sched._word_ops
+    _pop = heappop
+    _push = heappush
+    _pushpop = heappushpop
+    budget = max_events if max_events is not None else _NO_BUDGET
+    probe = sched.schedule_probe
+    probe_every = sched.probe_every
+
+    OP_SLEEP = _ops.OP_SLEEP
+    OP_LOAD = _ops.OP_LOAD
+    OP_CAS = _ops.OP_CAS
+    OP_MIN = _ops.OP_MIN
+    OP_YIELD = _ops.OP_YIELD
+
+    events = sched._events
+    seq = sched._seq
+    now = sched._now
+    next_probe = events + probe_every if probe is not None else _NO_BUDGET
+
+    # ---- load the wheel: drain the canonical heap into ring + far heap
+    # A slot holds None (dead), a bare item (one event — the common
+    # case for scattered continuations), or a list of items in seq
+    # order.  An item is an int tid or a timer callable.
+    ring = _WHEEL_POOL.pop() if _WHEEL_POOL else [None] * _RING
+    slot_times: list = []   # int-heap of live slot times, one per slot
+    over: list = []         # far-future entries, original heap tuples
+    horizon = now + _RING
+    while heap:
+        e = _pop(heap)
+        et = e[0]
+        if et >= horizon:
+            over.append(e)  # popped in heap order — a sorted list is
+            continue        # already a valid heap
+        k = e[2]
+        if k == _BATCH:     # leftover from an unwound run
+            s2 = et & _RMASK
+            lst = ring[s2]
+            b = e[3]
+            if lst is None:
+                ring[s2] = b[1:]
+                _push(slot_times, et)
+            elif type(lst) is list:
+                lst.extend(b[1:])
+            else:
+                ring[s2] = [lst, *b[1:]]
+            continue
+        item = k if k >= 0 else e[3]
+        s2 = et & _RMASK
+        lst = ring[s2]
+        if lst is None:
+            ring[s2] = item
+            _push(slot_times, et)
+        elif type(lst) is list:
+            lst.append(item)
+        else:
+            ring[s2] = [lst, item]
+
+    def ring_push(bt, item):
+        # Replaces both Scheduler._push (item: int tid) and
+        # Scheduler._push_timer (item: callable) for the run's duration.
+        # Only park handlers / timers / dispatches reach this closure
+        # (the loop's continuation fast paths push inline); wheel
+        # appends consume no seqs — slot append order *is* seq order —
+        # and the instance seq the far heap uses is synced around every
+        # handler call.
+        if bt < horizon:
+            s2 = bt & _RMASK
+            lst = ring[s2]
+            if lst is None:
+                ring[s2] = item
+                _push(slot_times, bt)
+            elif type(lst) is list:
+                lst.append(item)
+            else:
+                ring[s2] = [lst, item]
+        elif type(item) is int:
+            sched._seq = fs = sched._seq + 1
+            _push(over, (bt, fs, item))
+        else:
+            sched._seq = fs = sched._seq + 1
+            _push(over, (bt, fs, _TIMER, item))
+
+    def ring_push_group(bt, tids):
+        # Replaces Scheduler._push_group: a whole released cohort lands
+        # in its timestamp's slot with one extend.
+        if bt < horizon:
+            s2 = bt & _RMASK
+            lst = ring[s2]
+            if lst is None:
+                ring[s2] = [*tids]
+                _push(slot_times, bt)
+            elif type(lst) is list:
+                lst.extend(tids)
+            else:
+                ring[s2] = [lst, *tids]
+        else:
+            fs = sched._seq
+            for tid2 in tids:
+                fs += 1
+                _push(over, (bt, fs, tid2))
+            sched._seq = fs
+
+    items = None
+    idx = 0
+    t = now
+    dnext = -1      # deferred singleton continuation: its exec time …
+    ditem = None    # … and its item, held out of both ring and heap
+    sched._push = ring_push
+    sched._push_timer = ring_push
+    sched._push_group = ring_push_group
+    try:
+        while True:
+            # ---- advance: deferred continuation, else nearest live
+            # slot, else the far heap -------------------------------
+            # A singleton event's lone continuation into an empty slot
+            # is *deferred*: held in (dnext, ditem) instead of entering
+            # the wheel.  If no other slot runs first it executes here
+            # with zero heap and zero ring traffic — the event engine's
+            # deferred-``heappushpop`` trick lifted onto slot times.
+            # Equality with ``slot_times[0]`` cannot happen: a live
+            # slot time's slot is non-``None``, and the deferral site
+            # saw it empty.
+            dw = False
+            if dnext >= 0:
+                if slot_times and slot_times[0] < dnext:
+                    ring[dnext & _RMASK] = ditem
+                    now = _pushpop(slot_times, dnext)
+                else:
+                    now = dnext
+                    dw = True
+                dnext = -1
+            elif slot_times:
+                now = _pop(slot_times)
+            elif over:
+                now = over[0][0]
+            else:
+                break
+            horizon = now + _RING
+            while over and over[0][0] < horizon:
+                # Far entries the advanced horizon now covers must enter
+                # the wheel before anything at `now` runs: their seqs
+                # predate every push from here on, so migrating first
+                # keeps slot append order equal to global seq order.
+                e = _pop(over)
+                et = e[0]
+                k = e[2]
+                s2 = et & _RMASK
+                lst = ring[s2]
+                if k == _BATCH:
+                    b = e[3]
+                    if lst is None:
+                        ring[s2] = b[1:]
+                        if et != now:
+                            _push(slot_times, et)
+                    elif type(lst) is list:
+                        lst.extend(b[1:])
+                    else:
+                        ring[s2] = [lst, *b[1:]]
+                    continue
+                item = k if k >= 0 else e[3]
+                if lst is None:
+                    ring[s2] = item
+                    # A far-heap jump's top entry lands at `now`'s own
+                    # slot, which this advancement is about to walk —
+                    # a slot time for it would make the wheel visit it
+                    # twice.  (In the slot-time path every migrated
+                    # time is strictly beyond `now`.)
+                    if et != now:
+                        _push(slot_times, et)
+                elif type(lst) is list:
+                    lst.append(item)
+                else:
+                    ring[s2] = [lst, item]
+            if dw:
+                # The deferred item never entered the wheel; its slot is
+                # still ``None`` (migration cannot land at ``now``'s
+                # slot: distinct live times inside one horizon window
+                # never share a slot).
+                items = ditem
+            else:
+                s = now & _RMASK
+                items = ring[s]
+
+            # ---- singleton slot: the event engine's own tight body ----
+            # Most slots hold exactly one event (scattered continuations
+            # land alone), stored bare — those skip all batch
+            # bookkeeping.  The slot is cleared *before* the item runs
+            # so a same-cycle reschedule recreates it (and its slot
+            # time) for the next advancement.
+            if type(items) is not list:
+                if not dw:
+                    ring[s] = None
+                events += 1
+                if events > budget:
+                    raise EventBudgetExceeded(
+                        f"exceeded event budget {max_events} "
+                        f"({sched._live_threads} threads still live)"
+                    )
+                if events >= next_probe:
+                    next_probe = events + probe_every
+                    # Observation only: sync virtual time for the digest;
+                    # the probe may not mutate scheduler or memory state.
+                    sched._now = now
+                    probe(sched.state_digest(
+                        _ring_pending(now, (), 0, now, ring, over)
+                    ))
+                if type(items) is not int:
+                    sched._seq, sched._now = seq, now
+                    items(now)
+                    seq = sched._seq
+                    continue
+                tid = items
+                th = threads[tid]
+                op = th.pending
+                resume_at = now
+                if op is not None:
+                    code = op[0]
+                    counts[code] += 1
+                    if code >= OP_CAS:      # an atomic (OP_CAS..OP_MIN)
+                        if code != OP_CAS:
+                            result = atomic_exec[code](op[1], op[2])
+                        else:
+                            result = cas_word(op[1], op[2], op[3])
+                        resume_at = now + atomic_latency
+                    elif code == OP_LOAD:
+                        result = load_word(op[1])
+                        resume_at = now + load_latency
+                    else:       # OP_STORE (the only other pending op)
+                        store_word(op[1], op[2])
+                        resume_at = now + store_latency
+                        result = None
+                    th.pending = None
+                else:
+                    result = th.inbox
+                    th.inbox = None
+                try:
+                    nxt = th.send(result)
+                except StopIteration as stop:
+                    th.retval = stop.value
+                    sched._seq, sched._now = seq, now
+                    sched._finish_thread(th, resume_at)
+                    seq = sched._seq
+                    continue
+                except Exception as exc:
+                    exc.add_note(
+                        f"raised in device thread tid={th.tid} "
+                        f"block={th.ctx.block} lane={th.ctx.lane} "
+                        f"at cycle {resume_at}"
+                    )
+                    raise
+                if type(nxt) is not tuple or not nxt:
+                    raise InvalidOp(
+                        f"device thread {th.tid} yielded {nxt!r}; expected an "
+                        "op tuple from repro.sim.ops"
+                    )
+                code = nxt[0]
+                if OP_LOAD <= code <= OP_MIN:
+                    th.pending = nxt
+                    exec_at = resume_at + step_cost
+                    if code >= OP_CAS:
+                        waddr = nxt[1] >> 3
+                        avail = word_avail_get(waddr, 0)
+                        if avail > exec_at:
+                            exec_at = avail
+                        word_avail[waddr] = exec_at + atomic_service
+                        if track:
+                            word_ops[waddr] = word_ops.get(waddr, 0) + 1
+                    if exec_at < horizon:
+                        s2 = exec_at & _RMASK
+                        lst = ring[s2]
+                        if lst is None:
+                            dnext = exec_at
+                            ditem = tid
+                        elif type(lst) is list:
+                            lst.append(tid)
+                        else:
+                            ring[s2] = [lst, tid]
+                    else:
+                        seq += 1
+                        _push(over, (exec_at, seq, tid))
+                    continue
+                if code == OP_SLEEP:
+                    counts[OP_SLEEP] += 1
+                    bt = resume_at + step_cost + nxt[1]
+                elif code == OP_YIELD:
+                    counts[OP_YIELD] += 1
+                    bt = resume_at + yield_cost
+                else:
+                    handler = park_get(code)
+                    if handler is None:
+                        raise InvalidOp(
+                            f"device thread {th.tid} yielded unknown "
+                            f"op {nxt!r}"
+                        )
+                    counts[code] += 1
+                    sched._seq, sched._now = seq, now
+                    handler(th, nxt, resume_at)
+                    seq = sched._seq
+                    continue
+                if bt < horizon:
+                    s2 = bt & _RMASK
+                    lst = ring[s2]
+                    if lst is None:
+                        dnext = bt
+                        ditem = tid
+                    elif type(lst) is list:
+                        lst.append(tid)
+                    else:
+                        ring[s2] = [lst, tid]
+                else:
+                    seq += 1
+                    _push(over, (bt, seq, tid))
+                continue
+
+            # ---- walk the slot ----------------------------------------
+            # Same-cycle continuations append to `items` in place while
+            # it is being walked; the outer loop re-reads the length
+            # until the cycle runs dry.
+            t = now
+            idx = 0
+            while True:
+                n = len(items)
+                if idx >= n:
+                    break
+                while idx < n:
+                    # Budget/probe boundaries are computed per stretch,
+                    # not per item: `room` items can run with no checks
+                    # before the next accounting boundary.
+                    room = n - idx
+                    r = budget - events
+                    if r < room:
+                        room = r
+                    r = next_probe - events - 1
+                    if r < room:
+                        room = r
+                    if room < 1:
+                        # Boundary item: full budget/probe checks, then
+                        # reenter the stretch computation.
+                        item = items[idx]
+                        idx += 1
+                        events += 1
+                        if events > budget:
+                            raise EventBudgetExceeded(
+                                f"exceeded event budget {max_events} "
+                                f"({sched._live_threads} threads still live)"
+                            )
+                        if events >= next_probe:
+                            next_probe = events + probe_every
+                            sched._now = now
+                            probe(sched.state_digest(
+                                _ring_pending(t, items, idx, now, ring, over)
+                            ))
+                        if type(item) is not int:
+                            sched._seq, sched._now = seq, now
+                            item(t)
+                            seq = sched._seq
+                            continue
+                        th = threads[item]
+                        op = th.pending
+                        resume_at = t
+                        if op is not None:
+                            code = op[0]
+                            counts[code] += 1
+                            if code >= OP_CAS:
+                                if code != OP_CAS:
+                                    result = atomic_exec[code](op[1], op[2])
+                                else:
+                                    result = cas_word(op[1], op[2], op[3])
+                                resume_at = t + atomic_latency
+                            elif code == OP_LOAD:
+                                result = load_word(op[1])
+                                resume_at = t + load_latency
+                            else:
+                                store_word(op[1], op[2])
+                                resume_at = t + store_latency
+                                result = None
+                            th.pending = None
+                        else:
+                            result = th.inbox
+                            th.inbox = None
+                        try:
+                            nxt = th.send(result)
+                        except StopIteration as stop:
+                            th.retval = stop.value
+                            sched._seq, sched._now = seq, now
+                            sched._finish_thread(th, resume_at)
+                            seq = sched._seq
+                            continue
+                        except Exception as exc:
+                            exc.add_note(
+                                f"raised in device thread tid={th.tid} "
+                                f"block={th.ctx.block} lane={th.ctx.lane} "
+                                f"at cycle {resume_at}"
+                            )
+                            raise
+                        if type(nxt) is not tuple or not nxt:
+                            raise InvalidOp(
+                                f"device thread {th.tid} yielded {nxt!r}; "
+                                "expected an op tuple from repro.sim.ops"
+                            )
+                        code = nxt[0]
+                        if OP_LOAD <= code <= OP_MIN:
+                            th.pending = nxt
+                            exec_at = resume_at + step_cost
+                            if code >= OP_CAS:
+                                waddr = nxt[1] >> 3
+                                avail = word_avail_get(waddr, 0)
+                                if avail > exec_at:
+                                    exec_at = avail
+                                word_avail[waddr] = exec_at + atomic_service
+                                if track:
+                                    word_ops[waddr] = word_ops.get(waddr, 0) + 1
+                            if exec_at < horizon:
+                                s2 = exec_at & _RMASK
+                                lst = ring[s2]
+                                if lst is None:
+                                    ring[s2] = item
+                                    _push(slot_times, exec_at)
+                                elif type(lst) is list:
+                                    lst.append(item)
+                                else:
+                                    ring[s2] = [lst, item]
+                            else:
+                                seq += 1
+                                _push(over, (exec_at, seq, item))
+                            continue
+                        if code == OP_SLEEP:
+                            counts[OP_SLEEP] += 1
+                            bt = resume_at + step_cost + nxt[1]
+                            if bt < horizon:
+                                s2 = bt & _RMASK
+                                lst = ring[s2]
+                                if lst is None:
+                                    ring[s2] = item
+                                    _push(slot_times, bt)
+                                elif type(lst) is list:
+                                    lst.append(item)
+                                else:
+                                    ring[s2] = [lst, item]
+                            else:
+                                seq += 1
+                                _push(over, (bt, seq, item))
+                            continue
+                        if code == OP_YIELD:
+                            counts[OP_YIELD] += 1
+                            bt = resume_at + yield_cost
+                            if bt < horizon:
+                                s2 = bt & _RMASK
+                                lst = ring[s2]
+                                if lst is None:
+                                    ring[s2] = item
+                                    _push(slot_times, bt)
+                                elif type(lst) is list:
+                                    lst.append(item)
+                                else:
+                                    ring[s2] = [lst, item]
+                            else:
+                                seq += 1
+                                _push(over, (bt, seq, item))
+                            continue
+                        handler = park_get(code)
+                        if handler is None:
+                            raise InvalidOp(
+                                f"device thread {th.tid} yielded unknown "
+                                f"op {nxt!r}"
+                            )
+                        counts[code] += 1
+                        sched._seq, sched._now = seq, now
+                        handler(th, nxt, resume_at)
+                        seq = sched._seq
+                        continue
+
+                    # Checkless stretch: `room` items with no boundary in
+                    # range (events still ticks per item so an unwind
+                    # mid-stretch stays coherent).
+                    end = idx + room
+                    while idx < end:
+                        item = items[idx]
+                        idx += 1
+                        events += 1
+                        if type(item) is not int:
+                            sched._seq, sched._now = seq, now
+                            item(t)
+                            seq = sched._seq
+                            continue
+                        th = threads[item]
+                        op = th.pending
+                        resume_at = t
+                        if op is not None:
+                            code = op[0]
+                            counts[code] += 1
+                            if code >= OP_CAS:
+                                if code != OP_CAS:
+                                    result = atomic_exec[code](op[1], op[2])
+                                else:
+                                    result = cas_word(op[1], op[2], op[3])
+                                resume_at = t + atomic_latency
+                            elif code == OP_LOAD:
+                                result = load_word(op[1])
+                                resume_at = t + load_latency
+                            else:
+                                store_word(op[1], op[2])
+                                resume_at = t + store_latency
+                                result = None
+                            th.pending = None
+                        else:
+                            result = th.inbox
+                            th.inbox = None
+                        try:
+                            nxt = th.send(result)
+                        except StopIteration as stop:
+                            th.retval = stop.value
+                            sched._seq, sched._now = seq, now
+                            sched._finish_thread(th, resume_at)
+                            seq = sched._seq
+                            continue
+                        except Exception as exc:
+                            exc.add_note(
+                                f"raised in device thread tid={th.tid} "
+                                f"block={th.ctx.block} lane={th.ctx.lane} "
+                                f"at cycle {resume_at}"
+                            )
+                            raise
+                        if type(nxt) is not tuple or not nxt:
+                            raise InvalidOp(
+                                f"device thread {th.tid} yielded {nxt!r}; "
+                                "expected an op tuple from repro.sim.ops"
+                            )
+                        code = nxt[0]
+                        if OP_LOAD <= code <= OP_MIN:
+                            th.pending = nxt
+                            exec_at = resume_at + step_cost
+                            if code >= OP_CAS:
+                                waddr = nxt[1] >> 3
+                                avail = word_avail_get(waddr, 0)
+                                if avail > exec_at:
+                                    exec_at = avail
+                                word_avail[waddr] = exec_at + atomic_service
+                                if track:
+                                    word_ops[waddr] = word_ops.get(waddr, 0) + 1
+                            if exec_at < horizon:
+                                s2 = exec_at & _RMASK
+                                lst = ring[s2]
+                                if lst is None:
+                                    ring[s2] = item
+                                    _push(slot_times, exec_at)
+                                elif type(lst) is list:
+                                    lst.append(item)
+                                else:
+                                    ring[s2] = [lst, item]
+                            else:
+                                seq += 1
+                                _push(over, (exec_at, seq, item))
+                            continue
+                        if code == OP_SLEEP:
+                            counts[OP_SLEEP] += 1
+                            bt = resume_at + step_cost + nxt[1]
+                            if bt < horizon:
+                                s2 = bt & _RMASK
+                                lst = ring[s2]
+                                if lst is None:
+                                    ring[s2] = item
+                                    _push(slot_times, bt)
+                                elif type(lst) is list:
+                                    lst.append(item)
+                                else:
+                                    ring[s2] = [lst, item]
+                            else:
+                                seq += 1
+                                _push(over, (bt, seq, item))
+                            continue
+                        if code == OP_YIELD:
+                            counts[OP_YIELD] += 1
+                            bt = resume_at + yield_cost
+                            if bt < horizon:
+                                s2 = bt & _RMASK
+                                lst = ring[s2]
+                                if lst is None:
+                                    ring[s2] = item
+                                    _push(slot_times, bt)
+                                elif type(lst) is list:
+                                    lst.append(item)
+                                else:
+                                    ring[s2] = [lst, item]
+                            else:
+                                seq += 1
+                                _push(over, (bt, seq, item))
+                            continue
+                        handler = park_get(code)
+                        if handler is None:
+                            raise InvalidOp(
+                                f"device thread {th.tid} yielded unknown "
+                                f"op {nxt!r}"
+                            )
+                        counts[code] += 1
+                        sched._seq, sched._now = seq, now
+                        handler(th, nxt, resume_at)
+                        seq = sched._seq
+
+            # Slot exhausted: release it so the wheel position can be
+            # reused a full horizon later.
+            ring[s] = None
+            items = None
+    finally:
+        # Restore the class-level push methods and keep instance state
+        # coherent even when an exception unwinds mid-walk: the rest of
+        # the current slot, every live wheel slot, and the far heap go
+        # back onto the canonical heap (the current item is dropped,
+        # matching the event engine's popped entry).  Wheel times all
+        # sit below far times, so handing wheel slots fresh monotone
+        # seqs cannot reorder them relative to the far entries' old
+        # seqs.
+        del sched._push, sched._push_timer, sched._push_group
+        if seq > sched._seq:
+            sched._seq = seq
+        if dnext >= 0:
+            # A deferral is consumed at the next loop-top before any
+            # raise-capable op can run, so this is defensive only:
+            # materialize it so the wheel scan below sees it.
+            ring[dnext & _RMASK] = ditem
+            heappush(slot_times, dnext)
+        if type(items) is list and idx < len(items):
+            sched._seq = fs = sched._seq + 1
+            heappush(heap, (t, fs, _BATCH, [fs] + items[idx:]))
+        if slot_times:
+            # Exceptional unwind with live wheel slots (every live slot
+            # other than the current one has a slot-time entry): rebuild
+            # canonical heap entries in time order.
+            for off in range(_RING):
+                st = now + off
+                lst = ring[st & _RMASK]
+                if lst is None or lst is items:
+                    continue
+                sched._seq = fs = sched._seq + 1
+                if type(lst) is not list:
+                    if type(lst) is int:
+                        heappush(heap, (st, fs, lst))
+                    else:
+                        heappush(heap, (st, fs, _TIMER, lst))
+                elif len(lst) == 1:
+                    item = lst[0]
+                    if type(item) is int:
+                        heappush(heap, (st, fs, item))
+                    else:
+                        heappush(heap, (st, fs, _TIMER, item))
+                else:
+                    heappush(heap, (st, fs, _BATCH, [fs] + lst))
+        elif type(items) is not list and len(_WHEEL_POOL) < 4:
+            # No live slots and no half-walked list left in the current
+            # slot: the wheel is known all-None — recycle it.
+            _WHEEL_POOL.append(ring)
+        for e in over:
+            heappush(heap, e)
+        sched._events = events
+        sched._now = now
+    return sched._finish_report()
+
+
+def _run_traced_batch(sched: Scheduler, max_events: Optional[int]) -> SimReport:
+    """Batch-stepped instrumented loop: identical event protocol to
+    ``Scheduler._run_traced``, plus tracer reporting per event.
+
+    Telemetry dominates traced runs, so this variant skips the
+    singleton/stretch specializations and runs one uniformly-checked
+    item loop over each cohort.
+    """
+    cm = sched.cost_model
+    mem = sched.memory
+    heap = sched._heap
+    threads = sched._threads
+    word_avail = sched._word_avail
+    counts = sched._op_counts
+    tracer = sched.tracer
+    mem_hook = tracer.mem_op
+    atomic_service = cm.atomic_service
+    atomic_latency = cm.atomic_latency
+    load_latency = cm.load_latency
+    store_latency = cm.store_latency
+    step_cost = cm.step_cost
+    cas_word = mem.cas_word
+    load_word = mem.load_word
+    store_word = mem.store_word
+    atomic_exec = sched._atomic_exec
+    park_get = sched._park_dispatch.get
+    _pop = heappop
+    budget = max_events if max_events is not None else _NO_BUDGET
+    probe = sched.schedule_probe
+    probe_every = sched.probe_every
+
+    OP_SLEEP = _ops.OP_SLEEP
+    OP_LOAD = _ops.OP_LOAD
+    OP_CAS = _ops.OP_CAS
+    OP_MIN = _ops.OP_MIN
+    OP_YIELD = _ops.OP_YIELD
+
+    events = sched._events
+    next_probe = events + probe_every if probe is not None else _NO_BUDGET
+
+    _push = heappush
+    cur: list = []  # same-cycle continuations, in push (= seq) order
+
+    def trace_push(bt, item):
+        # Same-cycle continuations join the running batch in place —
+        # the walk drains ``cur`` without heap traffic; everything else
+        # goes straight to the heap with a real seq, exactly like the
+        # event engine's ``_push``/``_push_timer``.
+        if bt == sched._now:
+            cur.append(item)
+        elif type(item) is int:
+            sched._seq = fs = sched._seq + 1
+            _push(heap, (bt, fs, item))
+        else:
+            sched._seq = fs = sched._seq + 1
+            _push(heap, (bt, fs, _TIMER, item))
+
+    def trace_push_group(bt, tids):
+        if bt == sched._now:
+            cur.extend(tids)
+        else:
+            fs = sched._seq
+            for tid2 in tids:
+                fs += 1
+                _push(heap, (bt, fs, tid2))
+            sched._seq = fs
+
+    items: list = []
+    idx = 0
+    t = sched._now
+    sched._push = trace_push
+    sched._push_timer = trace_push
+    sched._push_group = trace_push_group
+    try:
+        while heap:
+            entry = _pop(heap)
+            t = entry[0]
+            tid = entry[2]
+            sched._now = t
+            if tid >= 0:
+                items = [tid]
+                idx = 0
+            elif tid == _BATCH:
+                items = entry[3]
+                idx = 1
+            else:  # _TIMER
+                items = [entry[3]]
+                idx = 0
+            while heap and heap[0][0] == t:
+                e2 = _pop(heap)
+                s2 = e2[2]
+                if s2 >= 0:
+                    items.append(s2)
+                elif s2 == _BATCH:
+                    b2 = e2[3]
+                    for j in range(1, len(b2)):
+                        items.append(b2[j])
+                else:
+                    items.append(e2[3])
+
+            while True:
+                n = len(items)
+                while idx < n:
+                    item = items[idx]
+                    idx += 1
+                    events += 1
+                    if events > budget:
+                        sched._events = events
+                        raise EventBudgetExceeded(
+                            f"exceeded event budget {max_events} "
+                            f"({sched._live_threads} threads still live)"
+                        )
+                    if events >= next_probe:
+                        next_probe = events + probe_every
+                        probe(sched.state_digest(
+                            _traced_pending(sched, t, items, idx, cur)
+                        ))
+                    if type(item) is not int:
+                        item(t)
+                        continue
+                    th = threads[item]
+                    op = th.pending
+                    resume_at = t
+                    result = None
+                    if op is not None:
+                        code = op[0]
+                        counts[code] += 1
+                        if code >= OP_CAS:
+                            if code != OP_CAS:
+                                result = atomic_exec[code](op[1], op[2])
+                            else:
+                                result = cas_word(op[1], op[2], op[3])
+                            resume_at = t + atomic_latency
+                        elif code == OP_LOAD:
+                            result = load_word(op[1])
+                            resume_at = t + load_latency
+                        else:
+                            store_word(op[1], op[2])
+                            resume_at = t + store_latency
+                        th.pending = None
+                        tracer.op_executed(th, code, t, resume_at - t)
+                        if mem_hook is not None:
+                            mem_hook(th, op, t, result)
+                    else:
+                        result = th.inbox
+                        th.inbox = None
+
+                    th.clock = resume_at
+                    try:
+                        nxt = th.send(result)
+                    except StopIteration as stop:
+                        th.retval = stop.value
+                        sched._events = events
+                        sched._finish_thread(th, resume_at)
+                        continue
+                    except Exception as exc:
+                        exc.add_note(
+                            f"raised in device thread tid={th.tid} "
+                            f"block={th.ctx.block} lane={th.ctx.lane} "
+                            f"at cycle {resume_at}"
+                        )
+                        raise
+                    if type(nxt) is not tuple or not nxt:
+                        raise InvalidOp(
+                            f"device thread {th.tid} yielded {nxt!r}; "
+                            "expected an op tuple from repro.sim.ops"
+                        )
+                    code = nxt[0]
+                    if OP_LOAD <= code <= OP_MIN:
+                        th.pending = nxt
+                        exec_at = resume_at + step_cost
+                        if code >= OP_CAS:
+                            waddr = nxt[1] >> 3
+                            avail = word_avail.get(waddr, 0)
+                            if avail > exec_at:
+                                exec_at = avail
+                            word_avail[waddr] = exec_at + atomic_service
+                            if sched.track_contention:
+                                sched._word_ops[waddr] = (
+                                    sched._word_ops.get(waddr, 0) + 1
+                                )
+                            tracer.atomic_issued(
+                                waddr, exec_at - resume_at - step_cost
+                            )
+                        # a pending-op continuation always lands strictly
+                        # after t (step_cost > 0): straight to the heap
+                        sched._seq = fs = sched._seq + 1
+                        _push(heap, (exec_at, fs, item))
+                        continue
+                    if code == OP_SLEEP:
+                        counts[OP_SLEEP] += 1
+                        sched._seq = fs = sched._seq + 1
+                        _push(heap, (resume_at + step_cost + nxt[1], fs, item))
+                        continue
+                    if code == OP_YIELD:
+                        counts[OP_YIELD] += 1
+                        sched._seq = fs = sched._seq + 1
+                        _push(heap, (resume_at + cm.yield_cost, fs, item))
+                        continue
+                    handler = park_get(code)
+                    if handler is None:
+                        raise InvalidOp(
+                            f"device thread {th.tid} yielded unknown op {nxt!r}"
+                        )
+                    counts[code] += 1
+                    handler(th, nxt, resume_at)
+                if not cur:
+                    break
+                items, cur, idx = cur, [], 0
+    finally:
+        del sched._push, sched._push_timer, sched._push_group
+        if idx < len(items):
+            sched._seq = fs = sched._seq + 1
+            heappush(heap, (t, fs, _BATCH, [fs] + items[idx:]))
+        if cur:
+            sched._seq = fs = sched._seq + 1
+            heappush(heap, (t, fs, _BATCH, [fs] + cur))
+        sched._events = events
+    return sched._finish_report()

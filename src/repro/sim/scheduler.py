@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from heapq import heappop, heappush, heappushpop
 from types import GeneratorType as Generator
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import (Any, Callable, Deque, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
 
 from . import ops as _ops
 from .cost_model import DEFAULT_COST_MODEL, CostModel
@@ -47,6 +49,54 @@ _ST_CONV = 2
 _ST_DONE = 3
 
 _TIMER = -1  # sentinel tid for timer events
+
+#: sentinel tid for bucketed heap entries produced by the batch engine:
+#: ``(t, first_seq, _BATCH, [first_seq, item, ...])`` carries every
+#: event the batch engine queued for time ``t`` in one heap entry (an
+#: item is an int tid or a timer callable; see repro.sim.engine_batch)
+_BATCH = -2
+
+#: the selectable run-loop implementations (``Scheduler(engine=...)``)
+ENGINES = ("event", "batch")
+
+#: process-wide default for ``Scheduler(engine=None)`` — see
+#: :func:`set_default_engine` / :func:`use_engine`
+_DEFAULT_ENGINE = "event"
+
+
+def default_engine() -> str:
+    """The engine a ``Scheduler(engine=None)`` will resolve to."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide default engine (validated against
+    :data:`ENGINES`).  Harnesses that construct schedulers deep inside
+    bench runners use this — via :func:`use_engine` — to thread an
+    ``--engine`` flag without changing every runner signature."""
+    global _DEFAULT_ENGINE
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {', '.join(ENGINES)}"
+        )
+    _DEFAULT_ENGINE = name
+
+
+@contextmanager
+def use_engine(name: Optional[str]):
+    """Scoped :func:`set_default_engine`; ``None`` is a no-op (inherit).
+
+    Schedulers constructed inside the ``with`` body with
+    ``engine=None`` resolve to ``name``; the previous default is
+    restored on exit even when the body raises.
+    """
+    prev = _DEFAULT_ENGINE
+    if name is not None:
+        set_default_engine(name)
+    try:
+        yield
+    finally:
+        set_default_engine(prev)
 
 #: effective event budget when ``run(max_events=None)`` — one compare
 #: per event against a huge int beats a per-event ``is not None`` test
@@ -107,11 +157,16 @@ class _Block:
 
 
 class _Warp:
-    __slots__ = ("lanes", "conv_waiters", "conv_keys", "conv_gen",
-                 "conv_timer_gen", "sync_waiters", "bcast_values")
+    __slots__ = ("lanes", "n_unparked", "conv_waiters", "conv_keys",
+                 "conv_gen", "conv_timer_gen", "sync_waiters", "bcast_values")
 
     def __init__(self):
         self.lanes: List[int] = []
+        # Lanes neither parked (barrier/convergence) nor finished — the
+        # lanes that block a pending warp_converge.  Maintained at every
+        # state transition so the convergence check is O(1), not an
+        # O(warp_size) state scan per park.
+        self.n_unparked = 0
         self.conv_waiters: List[int] = []
         # tid -> match key for lanes that parked via ops.warp_match
         self.conv_keys: Dict[int, object] = {}
@@ -225,7 +280,38 @@ class Scheduler:
         steer: int = 0,
         schedule_probe: Optional[Callable[[tuple], None]] = None,
         probe_every: int = PROBE_EVERY,
+        engine: Optional[str] = None,
     ) -> None:
+        # Hostile knobs fail here, at construction, with pointed errors.
+        # Accepting them used to defer the failure into the run loop
+        # (negative dispatch_jitter asks randrange for an empty range on
+        # the first dispatched block) or, worse, silently change
+        # behavior (probe_every < 1 degrades to probing every event;
+        # negative steer feeds undocumented phase math).
+        if dispatch_jitter < 0:
+            raise ValueError(
+                f"dispatch_jitter must be >= 0 (got {dispatch_jitter}): a "
+                "negative jitter window would ask randrange for an empty "
+                "range at block dispatch"
+            )
+        if steer < 0:
+            raise ValueError(
+                f"steer must be >= 0 (got {steer}): steering salts are "
+                "non-negative integers (0 = the historical schedule)"
+            )
+        if schedule_probe is not None and probe_every < 1:
+            raise ValueError(
+                f"probe_every must be >= 1 when a schedule_probe is "
+                f"attached (got {probe_every}): anything smaller silently "
+                "degrades to probing every event"
+            )
+        if engine is None:
+            engine = _DEFAULT_ENGINE
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {', '.join(ENGINES)}"
+            )
+        self.engine = engine
         self.memory = memory
         self.device = device
         self.cost_model = cost_model
@@ -361,6 +447,7 @@ class Scheduler:
                 self._threads.append(th)
                 blk.tids.append(tid)
                 warp.lanes.append(tid)
+                warp.n_unparked += 1
                 tids.append(tid)
             blk.n_live = block
             self._sm_queues[sm].append(blk)
@@ -413,6 +500,22 @@ class Scheduler:
         self._seq += 1
         heappush(self._heap, (t, self._seq, _TIMER, fn))
 
+    def _push_group(self, t: int, tids: Sequence[int]) -> None:
+        """Reschedule a released cohort — every tid at the same ``t``.
+
+        The barrier / warp-sync / convergence handlers release whole
+        groups at one timestamp; routing those through a single call
+        (instead of per-tid :meth:`_push`) lets the batch engine absorb
+        the entire cohort with one bucket extend.  Entries keep push
+        order, so the schedule is identical to per-tid pushes.
+        """
+        heap = self._heap
+        seq = self._seq
+        for tid in tids:
+            seq += 1
+            heappush(heap, (t, seq, tid))
+        self._seq = seq
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -429,7 +532,19 @@ class Scheduler:
         cycles, events, op counts, memory effects, thread return values
         — are bit-identical between the two (pinned by the tracer-parity
         tests); only host wall time differs.
+
+        ``engine="batch"`` swaps both loops for the batch-stepped
+        implementations in :mod:`repro.sim.engine_batch`, which drain
+        whole same-timestamp cohorts per heap pop.  The virtual-parity
+        contract extends across engines: the same run at the same seed
+        is byte-identical in every virtual metric and schedule digest
+        no matter which engine executed it (pinned by the cross-engine
+        parity deck, ``python -m repro perf parity``).
         """
+        if self.engine == "batch":
+            from .engine_batch import run_batch
+
+            return run_batch(self, max_events)
         if self.tracer is None:
             return self._run_fast(max_events)
         return self._run_traced(max_events)
@@ -809,6 +924,7 @@ class Scheduler:
         blk = th.block
         blk.n_live -= 1
         warp = th.warp
+        warp.n_unparked -= 1
         self._maybe_release_barrier(blk, t)
         self._maybe_release_conv(warp, t)
         if blk.n_live == 0:
@@ -830,6 +946,7 @@ class Scheduler:
     def _park_barrier(self, th: _Thread, t: int) -> None:
         th.state = _ST_BARRIER
         th.park_time = t
+        th.warp.n_unparked -= 1
         blk = th.block
         blk.barrier_waiters.append(th.tid)
         if self.tracer is not None:
@@ -849,15 +966,17 @@ class Scheduler:
             w = self._threads[tid]
             w.state = _ST_READY
             w.inbox = None
+            w.warp.n_unparked += 1
             if tracer is not None:
                 tracer.unparked(w, "barrier", release)
-            self._push(release, tid)
+        self._push_group(release, blk.barrier_waiters)
         blk.barrier_waiters.clear()
 
     def _park_conv(self, th: _Thread, t: int) -> None:
         th.state = _ST_CONV
         th.park_time = t
         warp = th.warp
+        warp.n_unparked -= 1
         warp.conv_waiters.append(th.tid)
         if self.tracer is not None:
             self.tracer.parked(th, "warp_converge", t)
@@ -886,6 +1005,7 @@ class Scheduler:
             )
         th.state = _ST_CONV
         th.park_time = t
+        warp.n_unparked -= 1
         waiters = warp.sync_waiters.setdefault(mask, [])
         waiters.append(th.tid)
         if self.tracer is not None:
@@ -921,7 +1041,8 @@ class Scheduler:
                 w.inbox = result
                 if tracer is not None:
                     tracer.unparked(w, "warp_sync", release)
-                self._push(release, tid)
+            warp.n_unparked += len(waiters)
+            self._push_group(release, waiters)
             del warp.sync_waiters[mask]
         else:
             # A lane waiting on an explicit mask is parked; it may unblock
@@ -929,14 +1050,9 @@ class Scheduler:
             self._maybe_release_conv(warp, t)
 
     def _maybe_release_conv(self, warp: _Warp, t: int) -> None:
-        if not warp.conv_waiters:
-            return
-        threads = self._threads
-        for tid in warp.lanes:
-            lt = threads[tid]
-            if lt.state == _ST_READY:
-                return  # some lane still running; wait for it or the window
-        self._release_conv(warp, t)
+        if warp.conv_waiters and not warp.n_unparked:
+            # no lane still running; the converged set is complete
+            self._release_conv(warp, t)
 
     def _release_conv(self, warp: _Warp, t: int) -> None:
         threads = self._threads
@@ -965,7 +1081,8 @@ class Scheduler:
                 )
             if tracer is not None:
                 tracer.unparked(w, "warp_converge", release)
-            self._push(release, tid)
+        warp.n_unparked += len(warp.conv_waiters)
+        self._push_group(release, warp.conv_waiters)
         warp.conv_waiters.clear()
         warp.conv_keys.clear()
         warp.conv_gen += 1
@@ -973,9 +1090,37 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def state_digest(self) -> tuple:
+    def _heap_pending(self) -> Iterable[Tuple[int, int]]:
+        """The pending-event multiset as ``(time, tid)`` pairs.
+
+        Expands the batch engine's bucketed heap entries (every bucket
+        item is one pending event; timer items fold as :data:`_TIMER`,
+        exactly like the event engine's timer entries), so the digest
+        sees the same abstract multiset regardless of how the live
+        engine physically queues it.
+        """
+        for entry in self._heap:
+            tid = entry[2]
+            if tid == _BATCH:
+                t = entry[0]
+                items = entry[3]
+                for j in range(1, len(items)):
+                    item = items[j]
+                    yield (t, item) if type(item) is int else (t, _TIMER)
+            else:
+                yield entry[0], tid
+
+    def state_digest(
+        self, pending: Optional[Iterable[Tuple[int, int]]] = None
+    ) -> tuple:
         """Cheap deterministic digest of the instantaneous scheduler
         state: ``(digest, contended)``.
+
+        ``pending`` overrides the pending-event multiset — an iterable
+        of ``(time, tid)`` pairs.  The batch engine passes its
+        composite view (remaining batch items, same-cycle buckets,
+        heap) mid-run; the default reads the heap, expanding any
+        bucketed entries.
 
         ``digest`` is a 64-bit FNV-style fold over the *abstract*
         schedule state — live-thread count, the pending-event multiset
@@ -1000,11 +1145,13 @@ class Scheduler:
         h = _FNV_OFFSET
         h = ((h ^ (self._live_threads & _MASK64)) * _FNV_PRIME) & _MASK64
         # pending-event multiset (commutative sum over entries)
+        if pending is None:
+            pending = self._heap_pending()
         acc = 0
-        for entry in self._heap:
+        for t, tid in pending:
             e = _FNV_OFFSET
-            e = ((e ^ ((entry[0] - now) & _MASK64)) * _FNV_PRIME) & _MASK64
-            e = ((e ^ (entry[2] & _MASK64)) * _FNV_PRIME) & _MASK64
+            e = ((e ^ ((t - now) & _MASK64)) * _FNV_PRIME) & _MASK64
+            e = ((e ^ (tid & _MASK64)) * _FNV_PRIME) & _MASK64
             acc = (acc + e) & _MASK64
         h = ((h ^ acc) * _FNV_PRIME) & _MASK64
         # parked threads (barrier / convergence waiters)

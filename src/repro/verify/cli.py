@@ -32,6 +32,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..sim.scheduler import ENGINES
 from .perturbation import DEFAULT_DECK, SMOKE_DECK
 from .runner import SCENARIOS, CaseResult, CaseSpec, sweep, run_case
 from .shrink import shrink_case
@@ -75,6 +76,11 @@ def main_explore(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--backend", metavar="NAME", default="ours",
         help="allocator backend to explore (default 'ours')",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default="event",
+        help="scheduler run loop to explore under (default 'event'); "
+             "part of every replay spec the session prints",
     )
     parser.add_argument(
         "--seed", type=int, default=0, metavar="K",
@@ -126,7 +132,7 @@ def main_explore(argv: Optional[List[str]] = None) -> int:
     report = explore(
         scenarios=args.scenario, budget=args.budget, backend=args.backend,
         master_seed=args.seed, workers=args.workers,
-        probe_every=args.probe_every, log=log,
+        probe_every=args.probe_every, engine=args.engine, log=log,
     )
     print()
     print(report.describe())
@@ -136,7 +142,7 @@ def main_explore(argv: Optional[List[str]] = None) -> int:
         baseline = deck_coverage(
             scenarios=args.scenario, budget=args.budget,
             backend=args.backend, workers=args.workers,
-            probe_every=args.probe_every, log=log,
+            probe_every=args.probe_every, engine=args.engine, log=log,
         )
         print()
         print(baseline.describe())
@@ -196,8 +202,13 @@ def main(argv: Optional[List[str]] = None) -> int:
              "name; default 'ours')",
     )
     parser.add_argument(
+        "--engine", choices=ENGINES, default="event",
+        help="scheduler run loop to sweep under (default 'event'); "
+             "recorded in every replay spec the sweep prints",
+    )
+    parser.add_argument(
         "--replay", metavar="SPEC", default=None,
-        help="replay one failing case: 'scenario[@backend]:seed:"
+        help="replay one failing case: 'scenario[@backend][/engine]:seed:"
              "perturbation' (as printed by a failing sweep)",
     )
     parser.add_argument(
@@ -246,7 +257,8 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"perturbation(s) x {len(names)} scenario(s) = {n_cases} cases")
     results = sweep(seeds, deck=deck, scenarios=names,
                     fail_fast=args.fail_fast, log=print,
-                    workers=args.workers, backend=args.backend)
+                    workers=args.workers, backend=args.backend,
+                    engine=args.engine)
     failures = [r for r in results if not r.ok]
     elapsed = time.time() - t0
     if not failures:

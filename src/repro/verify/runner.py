@@ -27,7 +27,7 @@ from ..sim.cost_model import DEFAULT_COST_MODEL
 from ..sim.device import GPUDevice
 from ..sim.errors import EventBudgetExceeded, SimError
 from ..sim.memory import DeviceMemory
-from ..sim.scheduler import PROBE_EVERY, Scheduler
+from ..sim.scheduler import ENGINES, PROBE_EVERY, Scheduler, use_engine
 from .perturbation import DEFAULT_DECK, Perturbation
 from .race import RaceChecker, RaceFinding
 
@@ -47,15 +47,23 @@ class CaseSpec:
     #: registry name of the allocator under test (scenarios drive the
     #: uniform BackendHandle, so any registered backend fits)
     backend: str = "ours"
+    #: scheduler run loop the case executes under.  Part of the replay
+    #: spec: the engines are parity-locked, but a failure found under
+    #: one must replay under that one — "same bug, other engine" is a
+    #: claim the harness proves, never assumes.
+    engine: str = "event"
 
     @property
     def replay(self) -> str:
-        """``scenario[@backend]:seed:perturbation`` — the ``--replay``
-        argument.  The ``@backend`` qualifier is omitted for the default
-        (``ours``) so historic replay strings stay valid and stable."""
+        """``scenario[@backend][/engine]:seed:perturbation`` — the
+        ``--replay`` argument.  The ``@backend`` and ``/engine``
+        qualifiers are omitted for the defaults (``ours``, ``event``)
+        so historic replay strings stay valid and stable."""
         scen = self.scenario
         if self.backend != "ours":
             scen = f"{scen}@{self.backend}"
+        if self.engine != "event":
+            scen = f"{scen}/{self.engine}"
         return f"{scen}:{self.seed}:{self.perturbation.spec}"
 
     @classmethod
@@ -64,9 +72,17 @@ class CaseSpec:
         if len(parts) < 2:
             raise ValueError(
                 f"bad replay spec {replay!r} "
-                "(want scenario[@backend]:seed[:perturbation])"
+                "(want scenario[@backend][/engine]:seed[:perturbation])"
             )
         scenario, seed = parts[0], int(parts[1])
+        engine = "event"
+        if "/" in scenario:
+            scenario, engine = scenario.rsplit("/", 1)
+            if engine not in ENGINES:
+                raise ValueError(
+                    f"bad replay spec {replay!r}: unknown engine "
+                    f"{engine!r} (choose from {', '.join(ENGINES)})"
+                )
         backend = "ours"
         if "@" in scenario:
             scenario, backend = scenario.split("@", 1)
@@ -77,10 +93,10 @@ class CaseSpec:
             raise ValueError(
                 f"bad replay spec {replay!r}: empty "
                 f"{'scenario' if not scenario else 'backend'} fragment "
-                "(want scenario[@backend]:seed[:perturbation])"
+                "(want scenario[@backend][/engine]:seed[:perturbation])"
             )
         pert = Perturbation.parse(parts[2]) if len(parts) == 3 else Perturbation()
-        return cls(scenario, seed, pert, backend)
+        return cls(scenario, seed, pert, backend, engine)
 
     def __str__(self) -> str:
         return self.replay
@@ -426,12 +442,17 @@ def run_case(spec: CaseSpec, check_races: bool = True,
     checker = RaceChecker() if check_races else None
     result = CaseResult(spec)
     try:
-        h = _Harness(spec.seed, spec.perturbation, checker,
-                     backend=spec.backend, probe=probe,
-                     probe_every=probe_every, **harness_kwargs)
-        if allocator_hook is not None:
-            allocator_hook(h)
-        scenario(h)
+        # The engine is pinned for the whole case, not just the harness
+        # constructor: scenarios launch follow-up kernels and re-enter
+        # Scheduler.run, and every one of those must replay the spec's
+        # engine.
+        with use_engine(spec.engine):
+            h = _Harness(spec.seed, spec.perturbation, checker,
+                         backend=spec.backend, probe=probe,
+                         probe_every=probe_every, **harness_kwargs)
+            if allocator_hook is not None:
+                allocator_hook(h)
+            scenario(h)
     except EventBudgetExceeded as exc:
         result.error = f"{type(exc).__name__}: {exc}"
         result.budget_exhausted = True
@@ -446,7 +467,8 @@ def sweep(seeds: Sequence[int], deck: Sequence[Perturbation] = DEFAULT_DECK,
           scenarios: Optional[Sequence[str]] = None,
           fail_fast: bool = False,
           log: Optional[Callable[[str], None]] = None,
-          workers: int = 1, backend: str = "ours") -> List[CaseResult]:
+          workers: int = 1, backend: str = "ours",
+          engine: str = "event") -> List[CaseResult]:
     """Run the full seeds x deck x scenarios grid; returns all results.
 
     The seeds -> deck -> scenarios nesting order is the grid's
@@ -460,7 +482,7 @@ def sweep(seeds: Sequence[int], deck: Sequence[Perturbation] = DEFAULT_DECK,
     serial contract.
     """
     names = list(scenarios) if scenarios else list(SCENARIOS)
-    grid = [CaseSpec(name, seed, pert, backend)
+    grid = [CaseSpec(name, seed, pert, backend, engine)
             for seed in seeds for pert in deck for name in names]
     if workers > 1 and len(grid) > 1:
         from ..par.pool import map_sharded

@@ -24,6 +24,13 @@ def _explode_on_three(x: int) -> int:
     return x
 
 
+def _boom_or_sleep(x: int) -> int:
+    if x == 0:
+        raise ValueError("fast shard went bad")
+    time.sleep(5.0)
+    return x
+
+
 class TestResolveWorkers:
     def test_auto_is_at_least_one(self):
         assert resolve_workers(0) >= 1
@@ -69,6 +76,17 @@ class TestMapSharded:
     def test_inline_exception_propagates(self):
         with pytest.raises(ValueError, match="shard went bad"):
             map_sharded(_explode_on_three, [3], workers=1)
+
+    def test_failure_does_not_wait_for_slow_shards(self):
+        # Regression: a worker exception used to re-raise only after the
+        # executor's context exit drained every in-flight shard, so a
+        # failing deck with one slow case reported its failure seconds
+        # (or, on real decks, minutes) late.  The raise must beat the
+        # slow sibling's 5-second runtime by a wide margin.
+        t0 = time.monotonic()
+        with pytest.raises(ValueError, match="fast shard went bad"):
+            map_sharded(_boom_or_sleep, [1, 0], workers=2)
+        assert time.monotonic() - t0 < 3.0
 
     def test_empty_items_still_log_a_deck_line(self):
         # The inline path used to skip logging entirely for an empty

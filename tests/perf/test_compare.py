@@ -206,3 +206,52 @@ class TestDeckRow:
                           "c": {"wall:seconds": 1.0}})
         assert not [d for d in compare.compare_docs(cur, base)
                     if d.case == compare.DECK_CASE]
+
+
+class TestInfinityRows:
+    """Appearing-from-zero virtual metrics produce ±inf worsenings; the
+    verdict, both renderers and the summary line must all digest them."""
+
+    def _inf_deltas(self):
+        base = _doc({"virtual:failure_rate_mean": 0.0})
+        cur = _doc({"virtual:failure_rate_mean": 0.1})
+        return compare.compare_docs(cur, base)
+
+    def _neg_inf_deltas(self):
+        # higher-is-better metric appearing from zero with a positive
+        # value: infinitely *better*
+        base = _doc({"virtual:ops_per_s": 0.0})
+        cur = _doc({"virtual:ops_per_s": 50.0})
+        return compare.compare_docs(cur, base)
+
+    def test_inf_worsening_gates_as_regression(self):
+        deltas = self._inf_deltas()
+        d = _one(deltas, "virtual:failure_rate_mean")
+        assert d.worsening == math.inf
+        assert d.status == "regression"
+        assert compare.has_regressions(deltas)
+
+    def test_neg_inf_worsening_reads_as_improved(self):
+        deltas = self._neg_inf_deltas()
+        d = _one(deltas, "virtual:ops_per_s")
+        assert d.worsening == -math.inf
+        assert d.status == "improved"
+        assert not compare.has_regressions(deltas)
+
+    def test_render_deltas_survives_inf_rows(self):
+        for deltas in (self._inf_deltas(), self._neg_inf_deltas()):
+            table = compare.render_deltas(deltas)
+            assert "inf%" in table          # the worsening column
+            assert "infG" not in table      # si() must not scale inf
+            table = compare.render_deltas(deltas, only_interesting=True)
+            assert "inf%" in table
+
+    def test_fmt_value_renders_infinities_as_themselves(self):
+        assert compare._fmt_value(math.inf) == "inf"
+        assert compare._fmt_value(-math.inf) == "-inf"
+        assert compare._fmt_value(math.nan) == "-"
+        assert compare._fmt_value(1500.0) == "1.50K"
+
+    def test_summarize_counts_inf_rows(self):
+        assert "1 regression" in compare.summarize(self._inf_deltas())
+        assert "1 improved" in compare.summarize(self._neg_inf_deltas())

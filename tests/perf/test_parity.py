@@ -1,0 +1,69 @@
+"""The cross-engine parity deck: deck shape, item checks, the report.
+
+Full-deck runs live in CI (``python -m repro perf parity``); here we pin
+the machinery on the cheapest real items so a parity regression fails in
+the unit tier too.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import parity
+from repro.perf.parity import (
+    ParityReport,
+    check_item,
+    default_deck,
+    run_parity,
+)
+from repro.perf.suite import CASES
+from repro.verify.runner import SCENARIOS
+
+
+class TestDeck:
+    def test_default_deck_covers_everything(self):
+        deck = default_deck()
+        bench = {s for s in deck if s.startswith("bench:")}
+        verify = {s for s in deck if s.startswith("verify:")}
+        assert bench == {f"bench:{n}" for n in CASES}
+        assert verify == {f"verify:{s}/{seed}" for s in SCENARIOS
+                          for seed in parity.VERIFY_SEEDS}
+        assert len(deck) == len(bench) + len(verify)
+
+    def test_deck_is_sorted_and_stable(self):
+        assert default_deck() == default_deck()
+
+
+class TestCheckItem:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="parity spec"):
+            check_item("mystery:thing")
+
+    def test_bad_bench_case_rejected(self):
+        with pytest.raises(KeyError):
+            check_item("bench:no_such_case")
+
+    def test_verify_item_agrees(self):
+        item = check_item("verify:storm/1")
+        assert item.ok, item.detail
+        assert item.event_seconds > 0 and item.batch_seconds > 0
+
+    def test_report_over_two_items(self):
+        report = run_parity(["verify:storm/1", "verify:churn/3"])
+        assert isinstance(report, ParityReport)
+        assert report.ok
+        assert len(report.items) == 2
+        assert report.speedup > 0
+        table = report.table()
+        assert "verify:storm/1" in table and "verify:churn/3" in table
+
+    def test_report_doc_is_json_round_trippable(self):
+        report = run_parity(["verify:storm/1"])
+        doc = json.loads(json.dumps(report.to_doc(), sort_keys=True))
+        assert doc["schema"] == parity.SCHEMA
+        assert doc["ok"] is True
+        wall = doc["engine_wall"]
+        assert set(wall) == {"event_seconds", "batch_seconds", "speedup"}
+        assert doc["items"][0]["spec"] == "verify:storm/1"

@@ -21,9 +21,10 @@ PR5 = ROOT / "BENCH_PR5.json"
 PR6 = ROOT / "BENCH_PR6.json"
 PR7 = ROOT / "BENCH_PR7.json"
 PR8 = ROOT / "BENCH_PR8.json"
+PR10 = ROOT / "BENCH_PR10.json"
 
 #: adjacent (baseline, current) artifact pairs along the trajectory
-PAIRS = [(PR5, PR6), (PR6, PR7), (PR7, PR8)]
+PAIRS = [(PR5, PR6), (PR6, PR7), (PR7, PR8), (PR8, PR10)]
 
 
 def _virtual_metrics(path: Path):
@@ -94,3 +95,22 @@ def test_pr8_adds_the_serve_case():
     # the 16 KiB quota + pressure gate deterministically rejects some of
     # the paper backend's mallocs on the bundled trace
     assert m["virtual:admission_failure_rate_ours"] > 0
+
+
+@pytest.mark.skipif(not PR10.exists(),
+                    reason="committed BENCH_PR10.json not present")
+def test_pr10_adds_lockstep_and_honest_engine_walls():
+    cur = _virtual_metrics(PR10)
+    assert "lockstep" in cur, "PR10 artifact is missing 'lockstep'"
+    doc = json.loads(PR10.read_text())
+    # every case records which run loop produced it (the event engine:
+    # batch is parity-locked, but the trajectory baseline stays on the
+    # reference loop)
+    assert all(c.get("engine") == "event" for c in doc["cases"].values())
+    wall = doc["engine_wall"]
+    assert wall["event_seconds"] > wall["batch_seconds"] > 0
+    # honest best-of-N interleaved measurement, not a cherry-pick: the
+    # recorded speedup must reproduce from the recorded walls
+    assert wall["speedup"] == pytest.approx(
+        wall["event_seconds"] / wall["batch_seconds"], rel=1e-3)
+    assert wall["speedup"] > 1.0

@@ -9,11 +9,14 @@ accounting story.
 
 from __future__ import annotations
 
+import socket
+import threading
+
 from repro.serve import loadgen
 from repro.serve.engine import ServeEngine
 from repro.serve.server import ServeServer
-from repro.workloads.replay import replay
-from repro.workloads.trace import load_bundled
+from repro.workloads.replay import TenantStats, replay
+from repro.workloads.trace import OP_MALLOC, TraceEvent, load_bundled
 
 POOL = 4 << 20  # ample: zero failures make ledger equality exact
 LEDGER_FIELDS = ("n_malloc", "n_malloc_failed", "n_free", "n_free_skipped",
@@ -84,7 +87,59 @@ class TestQuotaUnderLoad:
             report.totals().n_malloc_failed
 
 
+class _FakeClock:
+    """Deterministic monotonic clock whose every sleep overshoots."""
+
+    def __init__(self, overshoot: float):
+        self.now = 0.0
+        self.overshoot = overshoot
+        self.sleeps: list = []
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds + self.overshoot
+
+
+def _session_shell(events, cps):
+    """A _TenantSession with the wire stubbed out: only pacing runs."""
+    sess = object.__new__(loadgen._TenantSession)
+    sess.stats = TenantStats()
+    sess.cps = cps
+    sess.events = events
+    sess.lock = threading.Lock()
+    sess.report = loadgen.LoadReport()
+    done = loadgen._Future()
+    done.resolve({"ok": False, "cause": "stub"})
+    sess._issue = lambda msg: done
+    return sess
+
+
 class TestPacing:
+    def test_pacing_anchors_to_an_absolute_schedule(self, monkeypatch):
+        # Regression: pacing slept per-event deltas, so every sleep's
+        # overshoot (and all send/wait time in between) accumulated —
+        # under a clock that overshoots each sleep by 50ms, a 40-event
+        # stream drifted ~2s behind its own schedule.  Anchored to t0,
+        # the drift is bounded by a single overshoot regardless of
+        # stream length.
+        overshoot = 0.05
+        clock = _FakeClock(overshoot)
+        monkeypatch.setattr(loadgen, "_time", clock)
+        cps = 1000.0
+        events = [TraceEvent(op=OP_MALLOC, id=i, tenant=0, time=i * 100,
+                             size=8) for i in range(40)]
+        sess = _session_shell(events, cps)
+        sess._replay_events()
+        span = (events[-1].time - events[0].time) / cps
+        assert clock.now >= span, "pacing did not pace at all"
+        assert clock.now <= span + 3 * overshoot, (
+            f"paced stream drifted {clock.now - span:.3f}s past its "
+            f"schedule: per-delta sleeps are accumulating overshoot"
+        )
+
     def test_paced_run_accounts_identically(self):
         trace = load_bundled("serve_small")
         _, flat = _serve(trace)
@@ -98,3 +153,38 @@ class TestPacing:
             ref = paced.tenants[t]
             for f in LEDGER_FIELDS:
                 assert getattr(st, f) == getattr(ref, f), (t, f)
+
+
+class TestWedgedReader:
+    def test_silent_server_after_bye_is_a_session_error(self, monkeypatch):
+        # Regression: the post-bye reader join ignored its timeout, so a
+        # server that accepted the session and then went silent without
+        # closing left the reader wedged mid-recv while the session
+        # reported itself clean.
+        monkeypatch.setattr(loadgen, "REPLY_TIMEOUT", 0.2)
+        srv = socket.socket()
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(1)
+        _, port = srv.getsockname()
+        release = threading.Event()
+
+        def hello_then_silent():
+            conn, _ = srv.accept()
+            rd = conn.makefile("r", encoding="utf-8", newline="\n")
+            rd.readline()                      # the client's hello
+            conn.sendall(b'{"ok": true}\n')    # accept the session ...
+            release.wait(5.0)                  # ... then wedge: no replies,
+            conn.close()                       #     no close
+
+        server = threading.Thread(target=hello_then_silent, daemon=True)
+        server.start()
+        sess = loadgen._TenantSession(
+            "127.0.0.1", port, 0, [], loadgen.LoadReport(),
+            threading.Lock(), None)
+        try:
+            sess._run()
+        finally:
+            release.set()
+            srv.close()
+        assert isinstance(sess.error, RuntimeError), sess.error
+        assert "reader still alive" in str(sess.error)

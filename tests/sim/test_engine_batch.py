@@ -1,0 +1,270 @@
+"""Cross-engine parity: the batch-stepped loop against the event loop.
+
+The contract under test (DESIGN.md §15): for any kernel, seed and knob
+setting, ``Scheduler(engine="batch")`` produces the *identical virtual
+run* as ``engine="event"`` — same cycles, same event count, same op
+counts, same memory effects, same per-thread results, same schedule
+digests at every probe, and the same errors at the same budgets.  Wall
+time is the only permitted difference.  The full-deck version of this
+contract is ``python -m repro perf parity``; these are the microkernel
+teeth that fail fast and point at the divergent primitive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import DeviceMemory, Scheduler, ops
+from repro.sim.errors import EventBudgetExceeded
+from repro.sim.scheduler import (
+    ENGINES,
+    default_engine,
+    set_default_engine,
+    use_engine,
+)
+
+WORDS = 4  # contended-word count for the atomics microkernels
+
+
+def _run_pair(build, *, seed=0, probe=False, **sched_kw):
+    """Run the same build under both engines; return the two outcomes.
+
+    ``build(scheduler, memory)`` launches kernels and returns a
+    function extracting the kernel-visible effects (results, memory
+    words) after the run.  The outcome tuple is everything the parity
+    contract pins: report fields, effects, and (optionally) the digest
+    stream from the schedule probe.
+    """
+    outcomes = []
+    for engine in ENGINES:
+        mem = DeviceMemory(1 << 16)
+        digests: list = []
+        kw = dict(sched_kw)
+        if probe:
+            kw["schedule_probe"] = digests.append
+            kw["probe_every"] = 64
+        s = Scheduler(mem, seed=seed, engine=engine, **kw)
+        extract = build(s, mem)
+        report = s.run()
+        outcomes.append((
+            report.cycles, report.events, report.n_threads,
+            dict(report.op_counts), extract(), tuple(digests),
+        ))
+    return outcomes
+
+
+def _assert_parity(build, **kw):
+    event, batch = _run_pair(build, **kw)
+    assert batch == event
+
+
+class TestMicrokernelParity:
+    def test_contended_atomics(self):
+        def build(s, mem):
+            base = mem.host_alloc(8 * WORDS)
+
+            def kernel(ctx):
+                for i in range(6):
+                    yield ops.atomic_add(base + 8 * ((ctx.tid + i) % WORDS), 1)
+                v = yield ops.load(base)
+                return v
+
+            h = s.launch(kernel, 2, 64)
+            return lambda: (h.results,
+                            [mem.load_word(base + 8 * i) for i in range(WORDS)])
+
+        _assert_parity(build, probe=True)
+
+    def test_mixed_atomic_flavours(self):
+        def build(s, mem):
+            word = mem.host_alloc(8)
+
+            def kernel(ctx):
+                yield ops.atomic_max(word, ctx.tid)
+                yield ops.atomic_xor(word, ctx.tid * 3)
+                old = yield ops.atomic_cas(word, ctx.tid, 7)
+                return old
+
+            h = s.launch(kernel, 1, 32)
+            return lambda: (h.results, mem.load_word(word))
+
+        _assert_parity(build)
+
+    def test_barriers_with_phases(self):
+        def build(s, mem):
+            cell = mem.host_alloc(8)
+
+            def kernel(ctx):
+                yield ops.atomic_add(cell, 1)
+                yield ops.syncthreads()
+                v = yield ops.load(cell)   # all increments visible
+                yield ops.sleep(1 + ctx.tid % 5)
+                yield ops.syncthreads()
+                return v
+
+            h = s.launch(kernel, 2, 32)
+            return lambda: h.results
+
+        _assert_parity(build, probe=True)
+
+    def test_warp_primitives(self):
+        def build(s, mem):
+            def kernel(ctx):
+                yield ops.sleep(ctx.lane % 7)
+                yield ops.warp_converge()
+                mask = frozenset(range(32))
+                got = yield ops.warp_broadcast(mask, ctx.lane
+                                               if ctx.lane == 0
+                                               else ops.NO_PAYLOAD)
+                peers = yield ops.warp_match(ctx.lane % 2)
+                yield ops.warp_sync(mask)
+                return (got, len(peers))
+
+            h = s.launch(kernel, 1, 64)
+            return lambda: h.results
+
+        _assert_parity(build)
+
+    def test_sleep_yield_skew(self):
+        def build(s, mem):
+            def kernel(ctx):
+                total = 0
+                for i in range(4):
+                    yield ops.sleep((ctx.tid * 13 + i) % 9)
+                    yield ops.cpu_yield()
+                    total += i
+                return total
+
+            h = s.launch(kernel, 3, 32)
+            return lambda: h.results
+
+        _assert_parity(build, probe=True)
+
+    def test_dispatch_jitter_and_steer(self):
+        def build(s, mem):
+            word = mem.host_alloc(8)
+
+            def kernel(ctx):
+                yield ops.atomic_add(word, 1)
+                yield ops.sleep(2)
+                yield ops.atomic_add(word, 1)
+
+            s.launch(kernel, 4, 32)
+            return lambda: mem.load_word(word)
+
+        _assert_parity(build, seed=7, dispatch_jitter=16, steer=3)
+
+    def test_multi_launch_reuse(self):
+        # A reused scheduler: virtual time keeps advancing and the
+        # second run's cohort structure must batch identically.
+        def run(engine):
+            mem = DeviceMemory(1 << 16)
+            word = mem.host_alloc(8)
+
+            def kernel(ctx):
+                yield ops.atomic_add(word, 1)
+                yield ops.sleep(ctx.tid % 3)
+
+            s = Scheduler(mem, seed=1, engine=engine)
+            s.launch(kernel, 1, 32)
+            r1 = s.run()
+            t_mid = s.now
+            s.launch(kernel, 1, 32)
+            r2 = s.run()
+            return (r1.cycles, r1.events, t_mid, r2.cycles, r2.events,
+                    s.now, mem.load_word(word))
+
+        assert run("batch") == run("event")
+        assert run("event")[-1] == 64
+
+
+class TestBudgetParity:
+    def _build(self, s, mem):
+        word = mem.host_alloc(8)
+
+        def kernel(ctx):
+            for _ in range(8):
+                yield ops.atomic_add(word, 1)
+
+        s.launch(kernel, 2, 32)
+        return word
+
+    def _events_needed(self, engine):
+        mem = DeviceMemory(1 << 16)
+        s = Scheduler(mem, engine=engine)
+        self._build(s, mem)
+        return s.run().events
+
+    def test_budget_trips_at_the_same_event_count(self):
+        needed = self._events_needed("event")
+        assert needed == self._events_needed("batch")
+        for engine in ENGINES:
+            mem = DeviceMemory(1 << 16)
+            s = Scheduler(mem, engine=engine)
+            self._build(s, mem)
+            with pytest.raises(EventBudgetExceeded):
+                s.run(max_events=needed - 1)
+
+    def test_exact_budget_completes_on_both(self):
+        needed = self._events_needed("event")
+        for engine in ENGINES:
+            mem = DeviceMemory(1 << 16)
+            s = Scheduler(mem, engine=engine)
+            word = self._build(s, mem)
+            r = s.run(max_events=needed)
+            assert r.events == needed
+            assert mem.load_word(word) == 8 * 64
+
+    def test_post_trip_state_matches_across_engines(self):
+        # A budget trip abandons the run (EventBudgetExceeded is a
+        # DeadlockError: the guard fired, the schedule is suspect) — the
+        # contract is not resumability but *sameness*: both engines must
+        # leave the identical abstract wreckage behind, so diagnostics
+        # built on the tripped scheduler read the same either way.
+        wreckage = []
+        for engine in ENGINES:
+            mem = DeviceMemory(1 << 16)
+            s = Scheduler(mem, engine=engine)
+            word = self._build(s, mem)
+            with pytest.raises(EventBudgetExceeded) as ei:
+                s.run(max_events=40)
+            wreckage.append((str(ei.value), s.live_threads,
+                             mem.load_word(word)))
+        assert wreckage[0] == wreckage[1]
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected_at_construction(self):
+        mem = DeviceMemory(1 << 12)
+        with pytest.raises(ValueError, match="unknown engine"):
+            Scheduler(mem, engine="vector")
+
+    def test_set_default_engine_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            set_default_engine("vector")
+        assert default_engine() == "event"
+
+    def test_use_engine_scopes_and_restores(self):
+        assert default_engine() == "event"
+        with use_engine("batch"):
+            assert default_engine() == "batch"
+            mem = DeviceMemory(1 << 12)
+            assert Scheduler(mem).engine == "batch"
+        assert default_engine() == "event"
+
+    def test_use_engine_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_engine("batch"):
+                raise RuntimeError("boom")
+        assert default_engine() == "event"
+
+    def test_use_engine_none_inherits(self):
+        with use_engine("batch"):
+            with use_engine(None):
+                assert default_engine() == "batch"
+        assert default_engine() == "event"
+
+    def test_explicit_engine_beats_default(self):
+        mem = DeviceMemory(1 << 12)
+        with use_engine("batch"):
+            assert Scheduler(mem, engine="event").engine == "event"

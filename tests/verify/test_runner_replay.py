@@ -42,6 +42,27 @@ class TestCaseSpec:
     def test_str_is_replay(self):
         assert str(CaseSpec("churn", 0)) == "churn:0:"
 
+    def test_parse_round_trips_engine_qualifier(self):
+        spec = CaseSpec.parse("storm/batch:3")
+        assert (spec.scenario, spec.engine, spec.seed) == ("storm", "batch", 3)
+        assert spec.replay == "storm/batch:3:"
+        assert CaseSpec.parse(spec.replay) == spec
+        # engine composes with a backend qualifier
+        both = CaseSpec.parse("storm@cuda/batch:3")
+        assert (both.backend, both.engine) == ("cuda", "batch")
+        assert CaseSpec.parse(both.replay) == both
+
+    def test_event_engine_is_elided_from_replay(self):
+        # historic replay strings stay valid and stay canonical: the
+        # default engine never appears in the printed spec
+        spec = CaseSpec.parse("storm/event:3")
+        assert spec.engine == "event"
+        assert spec.replay == "storm:3:"
+
+    def test_parse_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            CaseSpec.parse("storm/vector:3")
+
 
 class TestRunCase:
     def test_unknown_scenario_rejected(self):
